@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Shared helpers for the figure/table benches: mix sweeps over
+ * schemes, distribution dumps (Fig 9/13 style), and per-app summary
+ * tables (Fig 10/11/12 style).
+ *
+ * Every bench prints machine-readable rows prefixed by a tag so the
+ * output can be grepped into plotting scripts, plus a human-readable
+ * summary. Results never need to match the paper's absolute numbers
+ * (different substrate); the *shape* — orderings, crossovers, rough
+ * factors — is the reproduction target (see EXPERIMENTS.md).
+ */
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/mix_runner.h"
+#include "stats/streaming_stats.h"
+#include "trace/csv.h"
+#include "workload/mix.h"
+
+namespace ubik {
+namespace bench {
+
+/** All results one scheme produced over a mix sweep. */
+struct SweepResult
+{
+    std::string label;
+    std::vector<MixRunResult> runs;      ///< one per (mix, seed)
+    std::vector<std::string> mixNames;   ///< parallel to runs
+};
+
+/**
+ * Run `schemes` over the standard mix matrix.
+ *
+ * @param cfg experiment scale/requests/seeds configuration
+ * @param schemes configurations to evaluate
+ * @param mixes_per_lc batch mixes per LC config (caps cfg.mixesPerLc)
+ * @param ooo out-of-order (true) or in-order cores
+ * @param only_load if >= 0, restrict to that load point
+ */
+inline std::vector<SweepResult>
+runSweep(const ExperimentConfig &cfg,
+         const std::vector<SchemeUnderTest> &schemes,
+         std::uint32_t mixes_per_lc, bool ooo = true,
+         double only_load = -1.0)
+{
+    MixRunner runner(cfg, ooo);
+    auto mixes = buildMixes(2, /*seed=*/1, mixes_per_lc);
+    std::vector<SweepResult> out;
+    for (const auto &sut : schemes) {
+        SweepResult sr;
+        sr.label = sut.label;
+        for (const auto &mix : mixes) {
+            if (only_load >= 0 &&
+                std::abs(mix.lc.load - only_load) > 1e-9)
+                continue;
+            for (std::uint32_t s = 0; s < cfg.seeds; s++) {
+                sr.runs.push_back(runner.runMix(mix, sut, s + 1));
+                sr.mixNames.push_back(mix.name);
+            }
+        }
+        std::fprintf(stderr, "  [%s] %zu runs done\n",
+                     sr.label.c_str(), sr.runs.size());
+        out.push_back(std::move(sr));
+    }
+    return out;
+}
+
+/**
+ * Run `schemes` over an explicit mix list (for benches whose question
+ * is only posed on specific colocations, e.g. cache-hungry batch
+ * mixes for the Ubik-knob ablations).
+ */
+inline std::vector<SweepResult>
+runCustomSweep(const ExperimentConfig &cfg,
+               const std::vector<SchemeUnderTest> &schemes,
+               const std::vector<MixSpec> &mixes, bool ooo = true)
+{
+    MixRunner runner(cfg, ooo);
+    std::vector<SweepResult> out;
+    for (const auto &sut : schemes) {
+        SweepResult sr;
+        sr.label = sut.label;
+        for (const auto &mix : mixes) {
+            for (std::uint32_t s = 0; s < cfg.seeds; s++) {
+                sr.runs.push_back(runner.runMix(mix, sut, s + 1));
+                sr.mixNames.push_back(mix.name);
+            }
+        }
+        std::fprintf(stderr, "  [%s] %zu runs done\n",
+                     sr.label.c_str(), sr.runs.size());
+        out.push_back(std::move(sr));
+    }
+    return out;
+}
+
+/**
+ * Mixes whose batch apps have real marginal utility for freed cache
+ * space (friendly/fitting/streaming classes). Ubik only downsizes —
+ * and so only boosts and de-boosts — when the cost-benefit analysis
+ * sees batch demand, so knob ablations sweep these instead of the
+ * full matrix (where insensitive combos dilute the signal to zero).
+ */
+inline std::vector<MixSpec>
+cacheHungryMixes()
+{
+    const std::vector<std::array<BatchClass, 3>> combos = {
+        {BatchClass::Friendly, BatchClass::Friendly,
+         BatchClass::Streaming},
+        {BatchClass::Friendly, BatchClass::Fitting,
+         BatchClass::Fitting},
+    };
+    std::vector<MixSpec> out;
+    for (const LcConfig &lc : buildLcConfigs()) {
+        std::uint32_t v = 0;
+        for (const auto &combo : combos) {
+            MixSpec m;
+            m.lc = lc;
+            m.batch.name = std::string() +
+                           batchClassCode(combo[0]) +
+                           batchClassCode(combo[1]) +
+                           batchClassCode(combo[2]);
+            for (std::size_t i = 0; i < 3; i++)
+                m.batch.apps[i] = batch_presets::make(combo[i], v + 1);
+            m.name = lc.app.name + (lc.load < 0.4 ? "-lo" : "-hi") +
+                     "/" + m.batch.name;
+            v++;
+            out.push_back(std::move(m));
+        }
+    }
+    return out;
+}
+
+/** Fig 9/13-style distribution dump: per scheme, runs sorted worst to
+ *  best, printed at evenly spaced quantiles. */
+inline void
+printDistributions(const std::vector<SweepResult> &sweeps,
+                   const char *tag)
+{
+    std::printf("\n[%s] tail-latency degradation distribution "
+                "(sorted worst->best)\n",
+                tag);
+    std::printf("%-14s", "scheme");
+    for (int q = 0; q <= 10; q++)
+        std::printf(" %6d%%", q * 10);
+    std::printf("\n");
+    for (const auto &s : sweeps) {
+        std::vector<double> v;
+        for (const auto &r : s.runs)
+            v.push_back(r.tailDegradation);
+        std::sort(v.begin(), v.end(), std::greater<double>());
+        std::printf("%-14s", s.label.c_str());
+        for (int q = 0; q <= 10; q++) {
+            std::size_t i = std::min(
+                v.size() - 1, q * (v.size() - 1) / 10);
+            std::printf(" %6.2f", v.empty() ? 0.0 : v[i]);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n[%s] weighted speedup distribution "
+                "(sorted worst->best)\n",
+                tag);
+    std::printf("%-14s", "scheme");
+    for (int q = 0; q <= 10; q++)
+        std::printf(" %6d%%", q * 10);
+    std::printf("\n");
+    for (const auto &s : sweeps) {
+        std::vector<double> v;
+        for (const auto &r : s.runs)
+            v.push_back(r.weightedSpeedup);
+        std::sort(v.begin(), v.end());
+        std::printf("%-14s", s.label.c_str());
+        for (int q = 0; q <= 10; q++) {
+            std::size_t i = std::min(
+                v.size() - 1, q * (v.size() - 1) / 10);
+            std::printf(" %6.2f", v.empty() ? 0.0 : v[i]);
+        }
+        std::printf("\n");
+    }
+}
+
+/**
+ * If UBIK_CSV_DIR is set, dump every (scheme, mix, seed) run of the
+ * sweep as <dir>/<tag>_runs.csv for plotting.
+ */
+inline void
+maybeExportCsv(const std::vector<SweepResult> &sweeps, const char *tag)
+{
+    const char *dir = std::getenv("UBIK_CSV_DIR");
+    if (!dir || !*dir)
+        return;
+    CsvWriter csv(std::string(dir) + "/" + tag + "_runs.csv");
+    csv.row(std::vector<std::string>{"scheme", "mix",
+                                     "tail_degradation",
+                                     "mean_degradation",
+                                     "weighted_speedup"});
+    for (const auto &s : sweeps) {
+        for (std::size_t i = 0; i < s.runs.size(); i++) {
+            const MixRunResult &r = s.runs[i];
+            char td[32], md[32], ws[32];
+            std::snprintf(td, sizeof(td), "%.6f", r.tailDegradation);
+            std::snprintf(md, sizeof(md), "%.6f", r.meanDegradation);
+            std::snprintf(ws, sizeof(ws), "%.6f", r.weightedSpeedup);
+            csv.row(std::vector<std::string>{s.label, s.mixNames[i],
+                                             td, md, ws});
+        }
+    }
+    std::fprintf(stderr, "  [%s] wrote %s/%s_runs.csv\n", tag, dir,
+                 tag);
+}
+
+/** Table 3-style averages. */
+inline void
+printAverages(const std::vector<SweepResult> &sweeps, const char *tag)
+{
+    maybeExportCsv(sweeps, tag);
+    std::printf("\n[%s] averages\n", tag);
+    std::printf("%-14s %22s %22s %18s\n", "scheme",
+                "avg tail degradation", "worst tail degradation",
+                "avg wspeedup");
+    for (const auto &s : sweeps) {
+        StreamingStats tail, ws;
+        for (const auto &r : s.runs) {
+            tail.add(r.tailDegradation);
+            ws.add(r.weightedSpeedup);
+        }
+        std::printf("%-14s %21.3fx %21.3fx %16.1f%%\n",
+                    s.label.c_str(), tail.mean(), tail.max(),
+                    (ws.mean() - 1.0) * 100.0);
+    }
+}
+
+/** Fig 10/11-style per-LC-app breakdown: overall + worst-mix tail
+ *  degradation (bar + whisker) and average weighted speedup. */
+inline void
+printPerApp(const std::vector<SweepResult> &sweeps, const char *tag)
+{
+    std::printf("\n[%s] per-app breakdown "
+                "(tail degradation: overall/worst | wspeedup avg)\n",
+                tag);
+    std::printf("%-18s", "app/load");
+    for (const auto &s : sweeps)
+        std::printf(" %20s", s.label.c_str());
+    std::printf("\n");
+    // Group rows by the "<app>-<lo|hi>/" prefix of the mix name.
+    std::vector<std::string> keys;
+    for (const auto &s : sweeps)
+        for (const auto &name : s.mixNames) {
+            std::string key = name.substr(0, name.find('/'));
+            if (std::find(keys.begin(), keys.end(), key) ==
+                keys.end())
+                keys.push_back(key);
+        }
+    for (const auto &key : keys) {
+        std::printf("%-18s", key.c_str());
+        for (const auto &s : sweeps) {
+            StreamingStats tail, ws;
+            for (std::size_t i = 0; i < s.runs.size(); i++) {
+                if (s.mixNames[i].rfind(key + "/", 0) != 0)
+                    continue;
+                tail.add(s.runs[i].tailDegradation);
+                ws.add(s.runs[i].weightedSpeedup);
+            }
+            std::printf("   %5.2f/%5.2f | %5.2f", tail.mean(),
+                        tail.max(), ws.mean());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace bench
+} // namespace ubik

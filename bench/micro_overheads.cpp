@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Microbenchmarks for §5.1.3's overhead claims: the coarse-grained
+ * reconfiguration ("a few tens of thousands of cycles"), the
+ * fast-path LC resize via the repartitioning table ("hundreds of
+ * cycles"), and the per-access costs of the simulated hardware
+ * (UMON, Vantage/zcache access).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/vantage.h"
+#include "mem/memory_system.h"
+#include "policy/feedback_policy.h"
+#include "queueing/queue_sim.h"
+#include "cache/zcache_array.h"
+#include "core/ubik_policy.h"
+#include "mon/umon.h"
+#include "policy/lookahead.h"
+#include "policy/policy_util.h"
+#include "policy/repartition_table.h"
+#include "common/rng.h"
+#include "core/advisor.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+
+using namespace ubik;
+
+namespace {
+
+std::vector<LookaheadInput>
+syntheticInputs(std::size_t n)
+{
+    std::vector<LookaheadInput> inputs(n);
+    Rng rng(1);
+    for (auto &in : inputs) {
+        double acc = 1e6 * rng.uniform(0.5, 1.5);
+        double decay = rng.uniform(2.0, 12.0);
+        for (int i = 0; i <= 256; i++)
+            in.curve.push_back(acc /
+                               (1.0 + decay * i / 256.0));
+        in.minBuckets = 1;
+    }
+    return inputs;
+}
+
+void
+BM_Lookahead(benchmark::State &state)
+{
+    auto inputs = syntheticInputs(static_cast<std::size_t>(
+        state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lookaheadAllocate(inputs, 256));
+}
+BENCHMARK(BM_Lookahead)->Arg(3)->Arg(6)->Arg(12);
+
+void
+BM_RepartitionTableBuild(benchmark::State &state)
+{
+    auto inputs = syntheticInputs(3);
+    for (auto _ : state) {
+        RepartitionTable t;
+        t.build(inputs, 128, 256);
+        benchmark::DoNotOptimize(t);
+    }
+}
+BENCHMARK(BM_RepartitionTableBuild);
+
+void
+BM_RepartitionTableWalk(benchmark::State &state)
+{
+    auto inputs = syntheticInputs(3);
+    RepartitionTable t;
+    t.build(inputs, 128, 256);
+    std::uint64_t b = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.allocationAt(64 + b % 128));
+        b += 17;
+    }
+}
+BENCHMARK(BM_RepartitionTableWalk);
+
+void
+BM_UmonAccess(benchmark::State &state)
+{
+    Umon umon(196608, 32, 8, 1);
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(umon.access(rng.next() % 500000));
+}
+BENCHMARK(BM_UmonAccess);
+
+void
+BM_VantageHit(benchmark::State &state)
+{
+    Vantage v(std::make_unique<ZCacheArray>(24576, 4, 52, 1), 3);
+    v.setTargetSize(1, 12288);
+    v.setTargetSize(2, 12288);
+    AccessContext ctx{1, 0, 0};
+    for (Addr x = 0; x < 8000; x++)
+        v.access(x, ctx);
+    Addr x = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(v.access(x % 8000, ctx));
+        x += 31;
+    }
+}
+BENCHMARK(BM_VantageHit);
+
+void
+BM_VantageMissStream(benchmark::State &state)
+{
+    Vantage v(std::make_unique<ZCacheArray>(24576, 4, 52, 1), 3);
+    v.setTargetSize(1, 12288);
+    v.setTargetSize(2, 12288);
+    AccessContext ctx{2, 1, 0};
+    Addr x = 1ull << 41;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(v.access(x++, ctx));
+}
+BENCHMARK(BM_VantageMissStream);
+
+void
+BM_UbikReconfigure(benchmark::State &state)
+{
+    // Full runtime reconfiguration: table build + per-LC sizing.
+    // The paper's claim: a few tens of thousands of cycles, i.e.
+    // ~tens of microseconds — negligible at 50ms intervals.
+    auto array = std::make_unique<ZCacheArray>(24576, 4, 52, 1);
+    Vantage scheme(std::move(array), 7);
+    std::vector<std::unique_ptr<Umon>> umons;
+    std::vector<std::unique_ptr<MlpProfiler>> profs;
+    std::vector<AppMonitor> mons(6);
+    Rng rng(3);
+    for (AppId a = 0; a < 6; a++) {
+        umons.push_back(std::make_unique<Umon>(24576, 32, 16, a));
+        profs.push_back(std::make_unique<MlpProfiler>());
+        mons[a].umon = umons[a].get();
+        mons[a].mlp = profs[a].get();
+        mons[a].latencyCritical = a < 3;
+        mons[a].targetLines = 4096;
+        mons[a].deadline = 1000000;
+        ZipfDistribution zipf(8192, 0.8);
+        for (int i = 0; i < 100000; i++)
+            umons[a]->access((static_cast<Addr>(a) << 40) +
+                             zipf(rng));
+        IntervalCounters ic;
+        ic.cycles = 10000000;
+        ic.instructions = 10000000;
+        ic.llcAccesses = 100000;
+        ic.llcMisses = 20000;
+        ic.missStallCycles = 2000000;
+        mons[a].interval = ic;
+        mons[a].intervalRequests = 40;
+        profs[a]->update(ic);
+    }
+    UbikPolicy policy(scheme, mons);
+    Cycles now = 0;
+    for (auto _ : state) {
+        now += 10000000;
+        policy.reconfigure(now);
+    }
+}
+BENCHMARK(BM_UbikReconfigure);
+
+void
+BM_UbikIdleActiveTransition(benchmark::State &state)
+{
+    // The fast path: resize LC partition + walk the table.
+    auto array = std::make_unique<ZCacheArray>(24576, 4, 52, 1);
+    Vantage scheme(std::move(array), 4);
+    std::vector<std::unique_ptr<Umon>> umons;
+    std::vector<std::unique_ptr<MlpProfiler>> profs;
+    std::vector<AppMonitor> mons(3);
+    Rng rng(4);
+    for (AppId a = 0; a < 3; a++) {
+        umons.push_back(std::make_unique<Umon>(24576, 32, 16, a));
+        profs.push_back(std::make_unique<MlpProfiler>());
+        mons[a].umon = umons[a].get();
+        mons[a].mlp = profs[a].get();
+        mons[a].latencyCritical = a == 0;
+        mons[a].targetLines = 4096;
+        mons[a].deadline = 1000000;
+        ZipfDistribution zipf(8192, 0.8);
+        for (int i = 0; i < 100000; i++)
+            umons[a]->access((static_cast<Addr>(a) << 40) +
+                             zipf(rng));
+        IntervalCounters ic;
+        ic.cycles = 10000000;
+        ic.instructions = 10000000;
+        ic.llcAccesses = 100000;
+        ic.llcMisses = 20000;
+        ic.missStallCycles = 2000000;
+        mons[a].interval = ic;
+        mons[a].intervalRequests = 40;
+        profs[a]->update(ic);
+    }
+    UbikPolicy policy(scheme, mons);
+    policy.reconfigure(10000000);
+    Cycles now = 10000000;
+    for (auto _ : state) {
+        now += 1000;
+        mons[0].active = false;
+        policy.onIdle(0, now);
+        now += 1000;
+        mons[0].active = true;
+        policy.onActive(0, now);
+    }
+}
+BENCHMARK(BM_UbikIdleActiveTransition);
+
+void
+BM_ContendedMemoryAccess(benchmark::State &state)
+{
+    // Per-miss cost of the contended-channel model at a given load
+    // (fraction of channel capacity offered).
+    MemoryParams p;
+    p.channels = 3;
+    p.channelOccupancy = 24;
+    ContendedMemory mem(p, 4);
+    double load = static_cast<double>(state.range(0)) / 100.0;
+    Cycles gap = static_cast<Cycles>(
+        static_cast<double>(p.channelOccupancy) /
+        (load * static_cast<double>(p.channels)));
+    Cycles now = 0;
+    AppId app = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(app, now));
+        now += gap;
+        app = (app + 1) % 4;
+    }
+}
+BENCHMARK(BM_ContendedMemoryAccess)->Arg(30)->Arg(90);
+
+void
+BM_PartitionedMemoryAccess(benchmark::State &state)
+{
+    MemoryParams p;
+    p.channels = 3;
+    p.channelOccupancy = 24;
+    PartitionedMemory mem(p, 4);
+    mem.setUnregulated(0);
+    Cycles now = 0;
+    AppId app = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mem.access(app, now));
+        now += 20;
+        app = (app + 1) % 4;
+    }
+}
+BENCHMARK(BM_PartitionedMemoryAccess);
+
+void
+BM_QueueSimThroughput(benchmark::State &state)
+{
+    // Simulated requests per second of the G/G/k queueing model.
+    for (auto _ : state) {
+        QueueSimParams p;
+        p.workers = static_cast<std::uint32_t>(state.range(0));
+        p.service = ServiceDistribution::lognormal(2e5, 0.4);
+        p.meanInterarrival =
+            p.service.mean() /
+            (0.7 * static_cast<double>(p.workers));
+        p.requests = 2000;
+        p.warmup = 200;
+        p.interferenceFactor = 0.2;
+        QueueSim sim(p, 42);
+        benchmark::DoNotOptimize(sim.run());
+    }
+    state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_QueueSimThroughput)->Arg(1)->Arg(4);
+
+void
+BM_FeedbackReconfigure(benchmark::State &state)
+{
+    // The Feedback baseline's per-interval cost (compare with
+    // BM_UbikReconfigure: both are dominated by Lookahead).
+    auto array = std::make_unique<ZCacheArray>(196608, 4, 52, 1);
+    Vantage scheme(std::move(array), 7);
+    std::vector<std::unique_ptr<Umon>> umons;
+    std::vector<std::unique_ptr<MlpProfiler>> profilers;
+    std::vector<AppMonitor> mons(6);
+    Rng rng(7);
+    for (std::uint32_t a = 0; a < 6; a++) {
+        umons.push_back(
+            std::make_unique<Umon>(196608, 32, 8, 100 + a));
+        profilers.push_back(std::make_unique<MlpProfiler>());
+        mons[a].umon = umons[a].get();
+        mons[a].mlp = profilers[a].get();
+        if (a < 3) {
+            mons[a].latencyCritical = true;
+            mons[a].targetLines = 32768;
+            mons[a].deadline = 1000000;
+        }
+        ZipfDistribution zipf(40000, 0.8);
+        for (int i = 0; i < 20000; i++)
+            umons[a]->access((static_cast<Addr>(a) << 40) + zipf(rng));
+    }
+    FeedbackPolicy policy(scheme, mons);
+    for (int i = 0; i < 25; i++)
+        for (AppId a = 0; a < 3; a++)
+            policy.onRequestComplete(a, 1200000);
+    for (auto _ : state)
+        policy.reconfigure(0);
+}
+BENCHMARK(BM_FeedbackReconfigure);
+
+} // namespace
+
+void
+BM_TraceAnalyze(benchmark::State &state)
+{
+    // Offline pipeline cost: exact stack-distance analysis of an
+    // N-access trace (O(N log N), the price of ground truth vs the
+    // UMON's O(1)-per-access sampling).
+    LcAppParams p = lc_presets::masstree().scaled(8.0);
+    TraceData trace = captureLcTrace(
+        p, static_cast<std::uint64_t>(state.range(0)), 7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(analyzeTrace(trace));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(trace.accesses.size()));
+}
+BENCHMARK(BM_TraceAnalyze)->Arg(50)->Arg(200)->Arg(800);
+
+void
+BM_AdvisorAdvise(benchmark::State &state)
+{
+    // The Fig 7 option search itself (what the Ubik runtime does per
+    // LC app per 50ms interval, here from an offline curve).
+    LcAppParams p = lc_presets::masstree().scaled(8.0);
+    TraceData trace = captureLcTrace(p, 200, 7);
+    TraceAnalysis an = analyzeTrace(trace);
+    AdvisorInput in;
+    std::uint64_t target = p.hotLines;
+    in.curve = an.missCurve(257, target * 4);
+    in.intervalAccesses = an.accesses;
+    in.profile.missPenalty = 100;
+    in.profile.hitCyclesPerAccess = 20;
+    in.profile.missRate = an.missRatioAtSize(target);
+    in.profile.accessesPerCycle = 0.03;
+    in.profile.valid = true;
+    in.targetLines = target;
+    in.deadline = static_cast<Cycles>(1e-3 * kClockHz);
+    in.boostCap = target * 4;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(advise(in));
+}
+BENCHMARK(BM_AdvisorAdvise);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Trace advisor: the bring-your-own-workload pipeline.
+ *
+ * Downstream users don't have our synthetic presets — they have
+ * production workloads. This example shows the offline path from a
+ * captured LLC access trace to concrete Ubik sizing decisions,
+ * without running the simulator:
+ *
+ *  1. capture a trace (here: from the masstree preset; with a real
+ *     workload, convert your tool's output to the trace format or
+ *     pass a .ubtr file as argv[1]),
+ *  2. analyze it — exact LRU miss curve via stack distances, APKI,
+ *     cross-request reuse (the inertia signal, Fig 2),
+ *  3. ask the advisor what strict Ubik would do at several deadlines:
+ *     per (s_idle, s_boost) option, the transient bounds and the
+ *     space a colocated batch tier would gain.
+ *
+ * Usage: trace_advisor [trace.ubtr [target_lines deadline_us]]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/advisor.h"
+#include "trace/access_trace.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+#include "common/log.h"
+
+using namespace ubik;
+
+int
+main(int argc, char **argv)
+{
+    TraceData trace;
+    std::uint64_t target_lines = 0;
+    Cycles deadline_base = 0;
+
+    if (argc > 1) {
+        std::printf("# loading trace %s\n", argv[1]);
+        trace = readTrace(argv[1]);
+        target_lines = argc > 2
+                           ? std::strtoull(argv[2], nullptr, 10)
+                           : 0;
+        if (argc > 3)
+            deadline_base = static_cast<Cycles>(
+                std::strtod(argv[3], nullptr) * 1e-6 * kClockHz);
+    } else {
+        std::printf("# no trace given: capturing 500 requests of the "
+                    "masstree preset (1:8 scale)\n");
+        LcAppParams params = lc_presets::masstree().scaled(8.0);
+        trace = captureLcTrace(params, 500, /*seed=*/42);
+        target_lines = params.hotLines;
+    }
+
+    // --- 2. Analyze.
+    TraceAnalysis an = analyzeTrace(trace);
+    if (target_lines == 0)
+        target_lines = an.footprintLines / 2;
+    if (deadline_base == 0)
+        deadline_base = static_cast<Cycles>(1e-3 * kClockHz); // 1 ms
+
+    std::printf("\n[trace] %llu requests, %llu accesses, "
+                "APKI %.1f, footprint %llu lines (%.2f MB)\n",
+                static_cast<unsigned long long>(trace.requests()),
+                static_cast<unsigned long long>(an.accesses),
+                trace.apki(),
+                static_cast<unsigned long long>(an.footprintLines),
+                static_cast<double>(an.footprintLines) * 64 / 1e6);
+    std::printf("[trace] cross-request reuse: %.0f%% of hits touch "
+                "lines from previous requests (inertia, Fig 2)\n",
+                an.crossRequestReuse * 100);
+    std::printf("[trace] hits by requests-ago:");
+    std::uint64_t total_hits = 0;
+    for (std::uint64_t h : an.hitsByRequestsAgo)
+        total_hits += h;
+    for (int i = 0; i < 9; i++)
+        std::printf(" %d:%4.1f%%", i,
+                    total_hits
+                        ? 100.0 * an.hitsByRequestsAgo[i] / total_hits
+                        : 0.0);
+    std::printf(" (8 = 8+)\n");
+
+    std::printf("\n[miss-curve] exact LRU miss ratio by size:\n");
+    for (double frac : {0.125, 0.25, 0.5, 0.75, 1.0, 1.5, 2.0}) {
+        std::uint64_t lines = static_cast<std::uint64_t>(
+            frac * static_cast<double>(target_lines));
+        std::printf("  %6.2fx target (%8llu lines): %5.1f%% misses\n",
+                    frac, static_cast<unsigned long long>(lines),
+                    an.missRatioAtSize(lines) * 100);
+    }
+
+    // --- 3. Advise. Timing parameters: with a real workload, read c
+    // and M from performance counters + the MLP profiler (§5.1); the
+    // defaults below model a 3.2GHz OOO core with 200-cycle memory.
+    CoreProfile prof;
+    prof.missPenalty = 100; // M: 200-cycle latency, MLP 2
+    prof.hitCyclesPerAccess = 20;
+    prof.missRate = an.missRatioAtSize(target_lines);
+    prof.accessesPerCycle = 0.03;
+    prof.valid = true;
+
+    std::printf("\n[advisor] strict-Ubik sizing at target %llu lines "
+                "(%.2f MB):\n",
+                static_cast<unsigned long long>(target_lines),
+                static_cast<double>(target_lines) * 64 / 1e6);
+    for (double mult : {0.25, 1.0, 4.0}) {
+        Cycles deadline = static_cast<Cycles>(
+            static_cast<double>(deadline_base) * mult);
+        AdvisorInput in;
+        in.curve = an.missCurve(257, target_lines * 4);
+        in.intervalAccesses = an.accesses;
+        in.profile = prof;
+        in.targetLines = target_lines;
+        in.deadline = deadline;
+        in.boostCap = target_lines * 4;
+        AdvisorReport rep = advise(in);
+
+        std::printf("\n  deadline %.2f ms -> %s\n",
+                    cyclesToMs(deadline),
+                    rep.canDownsize ? "downsizing feasible"
+                                    : "must hold the target "
+                                      "(StaticLC regime)");
+        std::printf("  %10s %10s %8s %14s %12s\n", "s_idle",
+                    "s_boost", "freed", "transient(us)", "lost(us)");
+        for (const SizingOption &o : rep.options) {
+            if (!o.feasible) {
+                std::printf("  %10llu %10s %7.0f%% %14s %12s\n",
+                            static_cast<unsigned long long>(o.sIdle),
+                            "--", 100.0 * o.freedLines / target_lines,
+                            "infeasible", "--");
+                continue;
+            }
+            std::printf("  %10llu %10llu %7.0f%% %14.1f %12.1f\n",
+                        static_cast<unsigned long long>(o.sIdle),
+                        static_cast<unsigned long long>(o.sBoost),
+                        100.0 * o.freedLines / target_lines,
+                        o.transientCycles / kClockHz * 1e6,
+                        o.lostCycles / kClockHz * 1e6);
+        }
+        std::printf("  best: idle at %llu lines frees %.0f%% of the "
+                    "target while the app sleeps\n",
+                    static_cast<unsigned long long>(rep.best.sIdle),
+                    100.0 * rep.best.freedLines / target_lines);
+    }
+
+    std::printf("\nReading the table: each row is one Fig 7 option — "
+                "park the app at s_idle when it sleeps, boost to "
+                "s_boost on wake-up, and by the deadline it has made "
+                "the same progress as a constant-size partition. "
+                "Tighter deadlines kill deeper options first.\n");
+    return 0;
+}

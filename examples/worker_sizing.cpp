@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Example: size a latency-critical server's worker pool.
+ *
+ * Given a service-time distribution, a tail-latency target, and an
+ * estimate of intra-server interference, find the smallest worker
+ * count that meets the target at each offered load — the capacity-
+ * planning question §3.3 of the paper raises and defers.
+ *
+ * Build & run:
+ *   cmake --build build --target worker_sizing
+ *   ./build/examples/worker_sizing
+ */
+
+#include <cstdio>
+
+#include "queueing/queue_sim.h"
+#include "common/log.h"
+#include "common/types.h"
+
+using namespace ubik;
+
+int
+main()
+{
+    setVerbose(false);
+
+    // A search-like service: long-tailed, 0.5 ms mean.
+    ServiceDistribution service =
+        ServiceDistribution::lognormal(1600000, 0.8);
+    const double tail_target_ms = 6.0;
+    const double interference = 0.15; // measured on the prototype
+    const double abort_prob = 0.02;
+
+    std::printf("Worker sizing for a search-like service\n");
+    std::printf("  mean service %.2f ms, tail target %.1f ms (95p "
+                "tail-mean), interference %.0f%%/worker\n\n",
+                cyclesToMs(static_cast<Cycles>(service.mean())),
+                tail_target_ms, interference * 100);
+    std::printf("%8s %10s %14s %s\n", "load", "workers",
+                "95p tail (ms)", "verdict");
+
+    for (double load : {0.2, 0.4, 0.6, 0.8}) {
+        bool met = false;
+        for (std::uint32_t k = 1; k <= 8 && !met; k++) {
+            QueueSimParams p;
+            p.workers = k;
+            p.service = service;
+            p.meanInterarrival =
+                service.mean() / (load * static_cast<double>(k));
+            p.interferenceFactor = interference;
+            p.abortProb = k > 1 ? abort_prob : 0.0;
+            p.requests = 15000;
+            p.warmup = 1500;
+            QueueSimResult r = QueueSim(p, 2024).run();
+            double tail_ms = cyclesToMs(
+                static_cast<Cycles>(r.latencies.tailMean(95.0)));
+            if (tail_ms <= tail_target_ms) {
+                std::printf("%8.2f %10u %14.2f meets target\n", load,
+                            k, tail_ms);
+                met = true;
+            } else if (k == 8) {
+                std::printf("%8.2f %10s %14.2f infeasible at <=8 "
+                            "workers\n",
+                            load, "-", tail_ms);
+            }
+        }
+    }
+
+    std::printf("\nHigher load needs more workers to tame queueing, "
+                "but interference and aborts put a ceiling on what "
+                "worker scaling can fix — beyond it, the fix is more "
+                "machines (or better isolation, the paper's topic).\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Cache array geometry interface.
+ *
+ * An array answers two questions: where does a line live (lookup), and
+ * which resident lines could be displaced to make room for a new line
+ * (victim candidates). Replacement *choice* belongs to the partition
+ * scheme layered on top (see scheme.h), which is what lets us evaluate
+ * {way-partitioning, Vantage} x {SA16, SA64, Z4/52} as in Fig 13.
+ *
+ * For the zcache, a candidate is reached through a chain of
+ * relocations; Candidate::parent encodes the chain so install() can
+ * perform the moves.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/line.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** One replacement candidate produced by victimCandidates(). */
+struct Candidate
+{
+    /** Slot index of the candidate line. */
+    std::uint64_t slot;
+
+    /**
+     * Index (into the candidate vector) of the node whose line can
+     * relocate into this slot; -1 for first-level candidates.
+     */
+    std::int32_t parent;
+};
+
+/** Abstract cache array: slot storage plus placement geometry. */
+class CacheArray
+{
+  public:
+    virtual ~CacheArray() = default;
+
+    /** Total slots in the array. */
+    virtual std::uint64_t numLines() const = 0;
+
+    /**
+     * Find the slot holding addr.
+     * @return slot index, or -1 if not present.
+     */
+    virtual std::int64_t lookup(Addr addr) const = 0;
+
+    /**
+     * Enumerate replacement candidates for inserting addr.
+     * Candidates appear in expansion order; out is cleared first.
+     */
+    virtual void victimCandidates(Addr addr,
+                                  std::vector<Candidate> &out) const = 0;
+
+    /**
+     * Install addr in place of the chosen candidate, performing any
+     * relocations the candidate's chain requires (zcache). The victim
+     * line's metadata is overwritten; the caller reads it beforehand.
+     *
+     * @param addr line being inserted
+     * @param cands the vector previously filled by victimCandidates
+     * @param victim_idx index into cands of the chosen victim
+     * @return slot index where addr now resides
+     */
+    virtual std::uint64_t install(Addr addr,
+                                  const std::vector<Candidate> &cands,
+                                  std::size_t victim_idx) = 0;
+
+    /** Mutable metadata for a slot. */
+    virtual LineMeta &meta(std::uint64_t slot) = 0;
+    virtual const LineMeta &meta(std::uint64_t slot) const = 0;
+
+    /**
+     * Number of candidates victimCandidates() aims to produce
+     * (associativity for SA, 52 for the default zcache).
+     */
+    virtual std::uint32_t associativity() const = 0;
+
+    /** Invalidate every line (used between experiment phases). */
+    virtual void flush() = 0;
+};
+
+} // namespace ubik

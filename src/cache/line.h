@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Per-line metadata for the simulated LLC arrays.
+ */
+
+#pragma once
+
+#include "common/types.h"
+
+namespace ubik {
+
+/**
+ * State of one cache line slot. Timestamps are full-width global
+ * access counters (idealized LRU); real Vantage uses 8-bit coarse
+ * timestamps, but that is a hardware-cost optimization that does not
+ * change replacement behaviour at simulation granularity.
+ */
+struct LineMeta
+{
+    /** Line address; kInvalidAddr when the slot is empty. */
+    Addr addr = kInvalidAddr;
+
+    /** Owning partition. 0 is Vantage's unmanaged region. */
+    PartId part = 0;
+
+    /** Global access counter at last touch (LRU ordering). */
+    std::uint64_t lastTouch = 0;
+
+    /** App that inserted / last touched the line. */
+    AppId owner = 0;
+
+    /**
+     * Request id of the owning app when the line was last touched.
+     * Drives the Fig 2 "hits by requests-ago" inertia breakdown.
+     */
+    ReqId lastReqId = 0;
+
+    bool valid() const { return addr != kInvalidAddr; }
+
+    void
+    clear()
+    {
+        addr = kInvalidAddr;
+        part = 0;
+        lastTouch = 0;
+        owner = 0;
+        lastReqId = 0;
+    }
+};
+
+} // namespace ubik

@@ -1,0 +1,136 @@
+#include "cache/scheme.h"
+
+#include "common/log.h"
+
+namespace ubik {
+
+PartitionScheme::PartitionScheme(std::unique_ptr<CacheArray> array,
+                                 std::uint32_t num_partitions)
+    : array_(std::move(array)), numParts_(num_partitions),
+      targets_(num_partitions, 0), actual_(num_partitions, 0),
+      ownerCount_(num_partitions, 0), accCount_(num_partitions, 0),
+      missCount_(num_partitions, 0)
+{
+    ubik_assert(numParts_ >= 1);
+}
+
+void
+PartitionScheme::setTargetSize(PartId p, std::uint64_t lines)
+{
+    ubik_assert(p < numParts_);
+    targets_[p] = lines;
+}
+
+AccessOutcome
+PartitionScheme::access(Addr addr, const AccessContext &ctx)
+{
+    ubik_assert(ctx.part < numParts_);
+    ubik_assert(ctx.app < numParts_);
+    now_++;
+    accCount_[ctx.part]++;
+
+    AccessOutcome out;
+    std::int64_t slot = array_->lookup(addr);
+    if (slot >= 0) {
+        LineMeta &line = array_->meta(static_cast<std::uint64_t>(slot));
+        out.hit = true;
+        out.hitPrevReqId = line.lastReqId;
+        out.hitPrevOwner = line.owner;
+        onHit(static_cast<std::uint64_t>(slot), ctx);
+        line.lastTouch = now_;
+        if (line.owner != ctx.app) {
+            ownerCount_[line.owner]--;
+            ownerCount_[ctx.app]++;
+            line.owner = ctx.app;
+        }
+        line.lastReqId = ctx.reqId;
+        return out;
+    }
+
+    missCount_[ctx.part]++;
+    missInstall(addr, ctx, out);
+    return out;
+}
+
+void
+PartitionScheme::onHit(std::uint64_t slot, const AccessContext &ctx)
+{
+    (void)slot;
+    (void)ctx;
+}
+
+void
+PartitionScheme::noteEviction(const LineMeta &victim, AccessOutcome &out)
+{
+    if (!victim.valid())
+        return;
+    out.victimAddr = victim.addr;
+    out.victimPart = victim.part;
+    ubik_assert(actual_[victim.part] > 0);
+    actual_[victim.part]--;
+    ubik_assert(ownerCount_[victim.owner] > 0);
+    ownerCount_[victim.owner]--;
+}
+
+void
+PartitionScheme::noteInstall(std::uint64_t slot, const AccessContext &ctx)
+{
+    LineMeta &line = array_->meta(slot);
+    line.part = ctx.part;
+    line.owner = ctx.app;
+    line.lastTouch = now_;
+    line.lastReqId = ctx.reqId;
+    actual_[ctx.part]++;
+    ownerCount_[ctx.app]++;
+}
+
+void
+PartitionScheme::reset()
+{
+    array_->flush();
+    now_ = 0;
+    forcedEvictions_ = 0;
+    for (std::uint32_t p = 0; p < numParts_; p++) {
+        actual_[p] = 0;
+        ownerCount_[p] = 0;
+        accCount_[p] = 0;
+        missCount_[p] = 0;
+    }
+}
+
+SharedLru::SharedLru(std::unique_ptr<CacheArray> array,
+                     std::uint32_t num_partitions)
+    : PartitionScheme(std::move(array), num_partitions)
+{
+}
+
+std::uint64_t
+SharedLru::missInstall(Addr addr, const AccessContext &ctx,
+                       AccessOutcome &out)
+{
+    array_->victimCandidates(addr, candScratch_);
+    ubik_assert(!candScratch_.empty());
+
+    // Globally oldest candidate; empty slots win outright.
+    std::size_t best = 0;
+    std::uint64_t best_touch = ~0ull;
+    for (std::size_t i = 0; i < candScratch_.size(); i++) {
+        const LineMeta &line = array_->meta(candScratch_[i].slot);
+        if (!line.valid()) {
+            best = i;
+            best_touch = 0;
+            break;
+        }
+        if (line.lastTouch < best_touch) {
+            best_touch = line.lastTouch;
+            best = i;
+        }
+    }
+
+    noteEviction(array_->meta(candScratch_[best].slot), out);
+    std::uint64_t slot = array_->install(addr, candScratch_, best);
+    noteInstall(slot, ctx);
+    return slot;
+}
+
+} // namespace ubik

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Conventional set-associative array (16- or 64-way in the paper's
+ * Fig 13 sensitivity study; the private-LLC baseline also uses it).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cache/array.h"
+
+namespace ubik {
+
+/** Set-associative array with a hashed index. */
+class SetAssocArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total capacity in lines (must be a multiple of
+     *        ways)
+     * @param ways associativity
+     * @param hash_salt perturbs the index hash so different cache
+     *        instances do not alias identically
+     */
+    SetAssocArray(std::uint64_t num_lines, std::uint32_t ways,
+                  std::uint64_t hash_salt = 0);
+
+    std::uint64_t numLines() const override { return lines_.size(); }
+    std::int64_t lookup(Addr addr) const override;
+    void victimCandidates(Addr addr,
+                          std::vector<Candidate> &out) const override;
+    std::uint64_t install(Addr addr, const std::vector<Candidate> &cands,
+                          std::size_t victim_idx) override;
+    LineMeta &meta(std::uint64_t slot) override { return lines_[slot]; }
+    const LineMeta &
+    meta(std::uint64_t slot) const override
+    {
+        return lines_[slot];
+    }
+    std::uint32_t associativity() const override { return ways_; }
+    void flush() override;
+
+    std::uint64_t numSets() const { return sets_; }
+
+    /** Set index for an address (exposed for way-partitioning tests). */
+    std::uint64_t setIndex(Addr addr) const;
+
+  private:
+    std::uint32_t ways_;
+    std::uint64_t sets_;
+    std::uint64_t salt_;
+    std::vector<LineMeta> lines_;
+};
+
+} // namespace ubik

@@ -1,0 +1,165 @@
+#include "cache/way_partitioning.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/log.h"
+
+namespace ubik {
+
+WayPartitioning::WayPartitioning(std::unique_ptr<SetAssocArray> array,
+                                 std::uint32_t num_partitions)
+    : PartitionScheme(std::move(array), num_partitions)
+{
+    sa_ = static_cast<SetAssocArray *>(array_.get());
+    ways_ = sa_->associativity();
+    linesPerWay_ = sa_->numLines() / ways_;
+    wayOwner_.assign(ways_, kNoPart);
+}
+
+void
+WayPartitioning::setTargetSize(PartId p, std::uint64_t lines)
+{
+    PartitionScheme::setTargetSize(p, lines);
+    reassignWays();
+}
+
+std::uint32_t
+WayPartitioning::waysOf(PartId p) const
+{
+    std::uint32_t n = 0;
+    for (PartId owner : wayOwner_)
+        if (owner == p)
+            n++;
+    return n;
+}
+
+void
+WayPartitioning::reassignWays()
+{
+    // Quantize line targets to ways: floor allocation, then hand the
+    // leftover ways to the partitions with the largest remainders.
+    // Nonzero targets get at least one way so the partition can make
+    // progress.
+    struct Demand
+    {
+        PartId part;
+        std::uint32_t ways;
+        double frac;
+    };
+    std::vector<Demand> demands;
+    std::uint32_t used = 0;
+    for (PartId p = 0; p < numParts_; p++) {
+        if (targets_[p] == 0)
+            continue;
+        double exact = static_cast<double>(targets_[p]) /
+                       static_cast<double>(linesPerWay_);
+        auto whole = static_cast<std::uint32_t>(exact);
+        double frac = exact - whole;
+        if (whole == 0) {
+            whole = 1;
+            frac = 0;
+        }
+        demands.push_back({p, whole, frac});
+        used += whole;
+    }
+    if (demands.empty()) {
+        wayOwner_.assign(ways_, kNoPart);
+        return;
+    }
+
+    // Shed excess ways from the largest allocations if we overflowed
+    // (can happen when many minimum-1-way grants pile up).
+    while (used > ways_) {
+        auto it = std::max_element(
+            demands.begin(), demands.end(),
+            [](const Demand &a, const Demand &b) {
+                return a.ways < b.ways;
+            });
+        ubik_assert(it->ways > 1 || used == ways_ + demands.size());
+        if (it->ways > 1) {
+            it->ways--;
+            used--;
+        } else {
+            break; // every partition at 1 way; cannot shrink further
+        }
+    }
+    // Distribute leftovers by largest fractional demand.
+    while (used < ways_) {
+        auto it = std::max_element(
+            demands.begin(), demands.end(),
+            [](const Demand &a, const Demand &b) {
+                return a.frac < b.frac;
+            });
+        it->ways++;
+        it->frac = -1.0; // one bonus way per partition per round
+        used++;
+        bool all_spent = std::all_of(
+            demands.begin(), demands.end(),
+            [](const Demand &d) { return d.frac < 0; });
+        if (all_spent)
+            for (auto &d : demands)
+                d.frac = 0.0;
+    }
+
+    // Lay out contiguously. Lines are NOT moved or flushed: the new
+    // owner claims each way lazily, one miss at a time — this is the
+    // slow transient the paper describes.
+    std::uint32_t w = 0;
+    wayOwner_.assign(ways_, kNoPart);
+    for (const auto &d : demands)
+        for (std::uint32_t i = 0; i < d.ways && w < ways_; i++)
+            wayOwner_[w++] = d.part;
+}
+
+std::uint64_t
+WayPartitioning::missInstall(Addr addr, const AccessContext &ctx,
+                             AccessOutcome &out)
+{
+    array_->victimCandidates(addr, candScratch_);
+    ubik_assert(candScratch_.size() == ways_);
+
+    // LRU among the ways assigned to this partition. If the partition
+    // currently owns no ways (e.g., an idle app with a zero target
+    // that still issues a stray access), fall back to global LRU.
+    std::size_t best = candScratch_.size();
+    std::uint64_t best_touch = ~0ull;
+    bool restricted = false;
+    for (std::size_t w = 0; w < candScratch_.size(); w++) {
+        if (wayOwner_[w] != ctx.part)
+            continue;
+        restricted = true;
+        const LineMeta &line = array_->meta(candScratch_[w].slot);
+        std::uint64_t touch = line.valid() ? line.lastTouch : 0;
+        if (touch < best_touch || best == candScratch_.size()) {
+            best_touch = touch;
+            best = w;
+        }
+        if (!line.valid())
+            break;
+    }
+    if (!restricted) {
+        best = 0;
+        best_touch = ~0ull;
+        for (std::size_t w = 0; w < candScratch_.size(); w++) {
+            const LineMeta &line = array_->meta(candScratch_[w].slot);
+            std::uint64_t touch = line.valid() ? line.lastTouch : 0;
+            if (touch < best_touch) {
+                best_touch = touch;
+                best = w;
+            }
+        }
+    }
+
+    const LineMeta &victim = array_->meta(candScratch_[best].slot);
+    // Evicting another partition's line from our way is how ways are
+    // reclaimed after a reconfiguration; evicting our own is normal
+    // replacement. Either way it is not a "forced" eviction in the
+    // Vantage sense.
+    noteEviction(victim, out);
+    std::uint64_t slot = array_->install(addr, candScratch_, best);
+    noteInstall(slot, ctx);
+    return slot;
+}
+
+} // namespace ubik

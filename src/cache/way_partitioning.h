@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Classic way-partitioning (Chiou et al.): each partition may insert
+ * only into its assigned subset of ways. Hits are allowed anywhere.
+ *
+ * Properties the paper leans on (§2.2, §7.3): coarse partition sizes
+ * (multiples of way capacity), associativity proportional to way
+ * count, and — critically for Ubik — slow, access-pattern-dependent
+ * transients: a partition granted a new way only claims it set by set,
+ * as its own misses happen to evict the previous owner's lines.
+ */
+
+#pragma once
+
+#include "cache/scheme.h"
+#include "cache/set_assoc_array.h"
+
+namespace ubik {
+
+/** Way-partitioned set-associative cache. */
+class WayPartitioning : public PartitionScheme
+{
+  public:
+    /**
+     * @param array must be a SetAssocArray (way-partitioning is
+     *        meaningless on a zcache)
+     * @param num_partitions partition count including unmanaged 0
+     *        (which way-partitioning leaves empty)
+     */
+    WayPartitioning(std::unique_ptr<SetAssocArray> array,
+                    std::uint32_t num_partitions);
+
+    /**
+     * Line-granularity targets are quantized to ways: each partition
+     * receives round(target / lines-per-way) ways, with the remainder
+     * ways going to the largest fractional demands. Partitions with a
+     * nonzero target always receive at least one way.
+     */
+    void setTargetSize(PartId p, std::uint64_t lines) override;
+
+    /** Ways currently assigned to partition p. */
+    std::uint32_t waysOf(PartId p) const;
+
+    std::uint64_t linesPerWay() const { return linesPerWay_; }
+
+  protected:
+    std::uint64_t missInstall(Addr addr, const AccessContext &ctx,
+                              AccessOutcome &out) override;
+
+  private:
+    void reassignWays();
+
+    SetAssocArray *sa_; ///< owned via array_, cached downcast
+    std::uint32_t ways_;
+    std::uint64_t linesPerWay_;
+    /** wayOwner_[w] = partition that may insert into way w. */
+    std::vector<PartId> wayOwner_;
+};
+
+} // namespace ubik

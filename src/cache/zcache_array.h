@@ -1,0 +1,72 @@
+/**
+ * @file
+ * ZCache array (Sanchez & Kozyrakis, MICRO-43 2010): a W-way
+ * skew-associative cache whose replacement process walks the graph of
+ * alternative locations to collect R >> W victim candidates, then
+ * relocates lines along the chosen path so the incoming line always
+ * lands in one of its own W positions.
+ *
+ * The paper's default LLC is a 4-way, 52-candidate zcache (Table 2).
+ * Vantage's analytical guarantees rely on this many candidates; Fig 13
+ * shows what happens with fewer (SA16/SA64).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "cache/array.h"
+
+namespace ubik {
+
+/** Skew-associative zcache with replacement-walk candidate expansion. */
+class ZCacheArray : public CacheArray
+{
+  public:
+    /**
+     * @param num_lines total capacity in lines (multiple of ways)
+     * @param ways number of hash functions / banks (paper: 4)
+     * @param candidates replacement candidates per eviction (paper: 52)
+     * @param hash_salt perturbs all way hashes
+     */
+    ZCacheArray(std::uint64_t num_lines, std::uint32_t ways = 4,
+                std::uint32_t candidates = 52, std::uint64_t hash_salt = 0);
+
+    std::uint64_t numLines() const override { return lines_.size(); }
+    std::int64_t lookup(Addr addr) const override;
+    void victimCandidates(Addr addr,
+                          std::vector<Candidate> &out) const override;
+    std::uint64_t install(Addr addr, const std::vector<Candidate> &cands,
+                          std::size_t victim_idx) override;
+    LineMeta &meta(std::uint64_t slot) override { return lines_[slot]; }
+    const LineMeta &
+    meta(std::uint64_t slot) const override
+    {
+        return lines_[slot];
+    }
+    std::uint32_t associativity() const override { return candidates_; }
+    void flush() override;
+
+    std::uint32_t ways() const { return ways_; }
+
+    /** Slot index of addr in the given way (bank-local hash + offset). */
+    std::uint64_t waySlot(Addr addr, std::uint32_t way) const;
+
+  private:
+    std::uint32_t ways_;
+    std::uint32_t candidates_;
+    std::uint64_t bankLines_;
+    std::uint64_t salt_;
+    std::vector<LineMeta> lines_;
+
+    /**
+     * Replacement-walk dedup: stamp_[slot] == walkGen_ marks a slot
+     * already visited in the current walk. The generation counter
+     * avoids clearing the array between walks; both are mutable
+     * because victimCandidates() is logically const.
+     */
+    mutable std::vector<std::uint32_t> stamp_;
+    mutable std::uint32_t walkGen_ = 0;
+};
+
+} // namespace ubik

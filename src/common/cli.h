@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line flag parser for the tools and examples.
+ *
+ * Flags are declared with a name, default, and help text; parse()
+ * consumes `--name value` and `--name=value` forms, supports `--help`
+ * (prints usage and exits 0), and rejects unknown flags and malformed
+ * values with fatal(). Declaration order defines the usage listing.
+ *
+ *   Cli cli("ubik_cli", "Run one mix under one scheme");
+ *   auto &policy = cli.flag("policy", "Ubik", "partitioning policy");
+ *   auto &slack = cli.flag("slack", 0.05, "Ubik tail-latency slack");
+ *   cli.parse(argc, argv);
+ *   use(policy.value, slack.value);
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ubik {
+
+/** One declared flag holding a typed value. */
+template <typename T>
+struct Flag
+{
+    std::string name;
+    std::string help;
+    T value;          ///< default until parse(), then the parsed value
+    bool seen = false; ///< whether the command line set it
+};
+
+/** Declarative command-line parser. */
+class Cli
+{
+  public:
+    Cli(std::string program, std::string description);
+    ~Cli();
+
+    /** Declare a flag; the reference stays valid for the Cli's life. */
+    Flag<std::string> &flag(const std::string &name,
+                            const char *default_value,
+                            const std::string &help);
+    Flag<std::int64_t> &flag(const std::string &name,
+                             std::int64_t default_value,
+                             const std::string &help);
+    Flag<double> &flag(const std::string &name, double default_value,
+                       const std::string &help);
+    Flag<bool> &flag(const std::string &name, bool default_value,
+                     const std::string &help);
+
+    /**
+     * Parse the command line. Exits 0 on --help; fatal() on unknown
+     * flags, missing values, or unparseable values.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** Print the usage/help text to stdout. */
+    void printHelp() const;
+
+  private:
+    struct Entry;
+
+    Entry &add(const std::string &name, const std::string &help);
+    Entry *find(const std::string &name);
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+} // namespace ubik

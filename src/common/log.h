@@ -1,0 +1,49 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  — an internal invariant was violated (a ubik bug); aborts.
+ * fatal()  — the simulation cannot continue due to a user error (bad
+ *            configuration, invalid arguments); exits with code 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#pragma once
+
+#include <cstdarg>
+
+namespace ubik {
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output globally (benches silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+} // namespace ubik
+
+#define panic(...) ::ubik::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::ubik::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::ubik::warnImpl(__VA_ARGS__)
+#define inform(...) ::ubik::informImpl(__VA_ARGS__)
+
+/**
+ * Simulation-state assertion: checked in all build types (the
+ * simulator's correctness depends on these, and RelWithDebInfo is the
+ * default build).
+ */
+#define ubik_assert(cond)                                                    \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::ubik::panicImpl(__FILE__, __LINE__,                            \
+                              "assertion failed: %s", #cond);                \
+    } while (0)

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic random number generation for the simulator.
+ *
+ * All stochastic behaviour in ubik (interarrival times, service-time
+ * draws, synthetic address streams, hash salts) flows through Rng so
+ * that every experiment is reproducible from a single seed. The
+ * generator is xoshiro256**, which is fast, high quality, and lets us
+ * cheaply fork independent streams per component.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+
+namespace ubik {
+
+/** xoshiro256** pseudo-random generator with distribution helpers. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Fork an independent stream (seeded from this one). */
+    Rng fork();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). n must be > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Exponential with the given mean (Markov interarrivals). */
+    double exponential(double mean);
+
+    /** Lognormal with the given mean and sigma of the underlying normal. */
+    double lognormal(double mu, double sigma);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Bernoulli trial. */
+    bool chance(double p);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipfian integer distribution over [0, n) with exponent theta.
+ * theta < 1 uses the Gray et al. quantile approximation (O(1) setup
+ * and sampling); theta >= 1, where that parameterization breaks
+ * down, falls back to an exact CDF table with binary-search sampling
+ * (n is bounded in that mode). Used for query-popularity and hot-set
+ * address draws.
+ */
+class ZipfDistribution
+{
+  public:
+    ZipfDistribution(std::uint64_t n, double theta);
+
+    std::uint64_t operator()(Rng &rng) const;
+
+    std::uint64_t n() const { return n_; }
+    double theta() const { return theta_; }
+
+  private:
+    double zeta(std::uint64_t n, double theta) const;
+
+    std::uint64_t n_;
+    double theta_;
+    double alpha_ = 0;
+    double zetan_ = 0;
+    double eta_ = 0;
+    double zeta2_ = 0;
+    std::vector<double> cdf_; ///< exact-table mode (theta >= 1)
+};
+
+/**
+ * Discrete distribution over arbitrary weights (multimodal service
+ * times, batch-class mixes). Sampling is O(log n) via a cumulative
+ * table.
+ */
+class DiscreteDistribution
+{
+  public:
+    explicit DiscreteDistribution(std::vector<double> weights);
+
+    /** Index of the sampled bucket. */
+    std::size_t operator()(Rng &rng) const;
+
+    std::size_t size() const { return cumulative_.size(); }
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace ubik

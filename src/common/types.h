@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Core typedefs and constants shared across all ubik modules.
+ *
+ * The simulator works at cache-line granularity: an Addr is a *line*
+ * address (byte address >> 6), and all sizes are expressed in lines
+ * unless a name says otherwise.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace ubik {
+
+/** Simulated clock cycles (3.2 GHz nominal, per Table 2). */
+using Cycles = std::uint64_t;
+
+/** Cache-line address (byte address >> lineBits). */
+using Addr = std::uint64_t;
+
+/** Partition identifier. Partition 0 is Vantage's unmanaged region. */
+using PartId = std::uint32_t;
+
+/** Application / core identifier within a CMP. */
+using AppId = std::uint32_t;
+
+/** Monotonic request sequence number within one LC app. */
+using ReqId = std::uint64_t;
+
+/** Sentinel for "no partition assigned". */
+constexpr PartId kNoPart = std::numeric_limits<PartId>::max();
+
+/** Sentinel for an invalid / empty line address. */
+constexpr Addr kInvalidAddr = std::numeric_limits<Addr>::max();
+
+/** Cache line size, bytes (Table 2). */
+constexpr std::uint32_t kLineBytes = 64;
+
+/** log2(kLineBytes). */
+constexpr std::uint32_t kLineBits = 6;
+
+/** Nominal clock frequency, Hz (Table 2: 3.2 GHz). */
+constexpr double kClockHz = 3.2e9;
+
+/** Convert cycles to milliseconds at the nominal clock. */
+constexpr double
+cyclesToMs(Cycles c)
+{
+    return static_cast<double>(c) / kClockHz * 1e3;
+}
+
+/** Convert cycles to microseconds at the nominal clock. */
+constexpr double
+cyclesToUs(Cycles c)
+{
+    return static_cast<double>(c) / kClockHz * 1e6;
+}
+
+/** Convert milliseconds to cycles at the nominal clock. */
+constexpr Cycles
+msToCycles(double ms)
+{
+    return static_cast<Cycles>(ms * 1e-3 * kClockHz);
+}
+
+/** Convert a byte size to lines, rounding down. */
+constexpr std::uint64_t
+bytesToLines(std::uint64_t bytes)
+{
+    return bytes >> kLineBits;
+}
+
+constexpr std::uint64_t operator""_KB(unsigned long long v)
+{
+    return v << 10;
+}
+
+constexpr std::uint64_t operator""_MB(unsigned long long v)
+{
+    return v << 20;
+}
+
+} // namespace ubik

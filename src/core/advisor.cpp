@@ -1,0 +1,104 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+/** Smallest boost in (s_active, cap] whose post-transient gain repays
+ *  `lost` cycles by the deadline (mirrors UbikPolicy::solveBoost). */
+std::uint64_t
+solveBoost(const TransientModel &model, std::uint64_t s_idle,
+           std::uint64_t s_active, std::uint64_t cap, Cycles deadline,
+           double lost, std::uint64_t step)
+{
+    if (lost <= 0)
+        return s_active;
+    if (deadline == 0)
+        return 0;
+    for (std::uint64_t s = s_active + step; s <= cap; s += step) {
+        TransientEstimate fill = model.upperBound(s_idle, s);
+        if (fill.unbounded)
+            return 0;
+        if (fill.duration >= static_cast<double>(deadline))
+            return 0;
+        double gain_time =
+            static_cast<double>(deadline) - fill.duration;
+        if (model.gainRate(s_active, s) * gain_time >= lost)
+            return s;
+    }
+    return 0;
+}
+
+} // namespace
+
+AdvisorReport
+advise(const AdvisorInput &in)
+{
+    if (in.curve.empty())
+        fatal("advisor: empty miss curve");
+    if (in.intervalAccesses == 0)
+        fatal("advisor: intervalAccesses must be > 0");
+    if (in.targetLines == 0)
+        fatal("advisor: targetLines must be > 0");
+    if (!in.profile.valid)
+        fatal("advisor: timing profile not valid (set profile.valid "
+              "after filling c/M)");
+    if (in.idleOptions == 0)
+        fatal("advisor: idleOptions must be > 0");
+
+    TransientModel model(in.curve, in.intervalAccesses, in.profile);
+    std::uint64_t cap = in.boostCap > 0 ? in.boostCap
+                                        : in.curve.maxLines();
+    cap = std::max(cap, in.targetLines);
+    std::uint64_t step =
+        in.stepLines > 0
+            ? in.stepLines
+            : std::max<std::uint64_t>(1,
+                                      in.targetLines / in.idleOptions);
+
+    AdvisorReport out;
+    out.best.sIdle = in.targetLines;
+    out.best.sBoost = in.targetLines;
+    out.best.feasible = true;
+
+    for (std::uint32_t i = 1; i <= in.idleOptions; i++) {
+        std::uint64_t s_idle = static_cast<std::uint64_t>(
+            static_cast<double>(in.targetLines) *
+            static_cast<double>(in.idleOptions - i) /
+            static_cast<double>(in.idleOptions));
+        if (!out.options.empty() &&
+            s_idle >= out.options.back().sIdle)
+            continue; // quantization duplicate
+
+        SizingOption opt;
+        opt.sIdle = s_idle;
+        opt.freedLines = in.targetLines - s_idle;
+
+        TransientEstimate tr = model.upperBound(s_idle, in.targetLines);
+        opt.transientCycles = tr.duration;
+        opt.lostCycles = tr.lostCycles;
+        if (!tr.unbounded) {
+            std::uint64_t boost =
+                solveBoost(model, s_idle, in.targetLines, cap,
+                           in.deadline, tr.lostCycles, step);
+            if (boost != 0) {
+                opt.sBoost = boost;
+                opt.feasible = true;
+            }
+        }
+        out.options.push_back(opt);
+        if (opt.feasible) {
+            out.best = opt;
+            out.canDownsize = true;
+        } else {
+            break; // deeper idle sizes only get harder (Fig 7)
+        }
+    }
+    return out;
+}
+
+} // namespace ubik

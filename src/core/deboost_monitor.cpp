@@ -1,0 +1,57 @@
+#include "core/deboost_monitor.h"
+
+#include "common/log.h"
+
+namespace ubik {
+
+DeboostMonitor::DeboostMonitor(double guard) : guard_(guard)
+{
+    ubik_assert(guard >= 0);
+}
+
+void
+DeboostMonitor::arm(std::uint64_t s_active, double miss_slack)
+{
+    armed_ = true;
+    sActive_ = s_active;
+    missSlack_ = miss_slack;
+    wouldBeMisses_ = 0;
+    actualMisses_ = 0;
+}
+
+void
+DeboostMonitor::disarm()
+{
+    armed_ = false;
+}
+
+DeboostEvent
+DeboostMonitor::observe(const Umon &umon, const UmonProbe &probe,
+                        bool missed)
+{
+    if (!armed_)
+        return DeboostEvent::None;
+
+    if (missed)
+        actualMisses_ += 1.0;
+    if (probe.sampled && umon.missesAtAllocation(probe, sActive_))
+        wouldBeMisses_ += umon.samplingFactor();
+
+    if (wouldBeMisses_ >= actualMisses_ + guard_) {
+        armed_ = false;
+        return DeboostEvent::Recovered;
+    }
+    if (missSlack_ > 0) {
+        // Low watermark: actual misses have outgrown the UMON
+        // prediction by more than the slack allows; only meaningful
+        // once enough events accumulated to trust the comparison.
+        double threshold = (wouldBeMisses_ + guard_) * (1.0 + missSlack_);
+        if (actualMisses_ > threshold && actualMisses_ > 4 * guard_) {
+            armed_ = false;
+            return DeboostEvent::Watermark;
+        }
+    }
+    return DeboostEvent::None;
+}
+
+} // namespace ubik

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accurate de-boosting circuit (§5.1.1) with the slack low watermark
+ * (§5.2).
+ *
+ * The UMON's tags survive idle periods, so while a boosted app runs,
+ * each sampled access tells us whether it *would have* hit had the
+ * partition been held at s_active. The circuit keeps two counters
+ * since activation:
+ *
+ *   wouldBeMisses — UMON-predicted misses at s_active (scaled by the
+ *                   sampling factor), and
+ *   actualMisses  — real partition misses.
+ *
+ * The partition starts cold (actual > wouldBe); while boosted it
+ * out-hits the s_active baseline (actual grows slower). When
+ * wouldBeMisses >= actualMisses + guard, the transient's cost has been
+ * repaid and the circuit raises the de-boost interrupt.
+ *
+ * Low watermark: under slack, if actualMisses outgrows wouldBeMisses
+ * by more than (1 + missSlack)x, the request is suffering far beyond
+ * the model's prediction; the circuit raises a *watermark* interrupt
+ * so the runtime can fall back to the conservative no-slack sizes.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "mon/umon.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** De-boost circuit outcome per access. */
+enum class DeboostEvent
+{
+    None,      ///< keep boosting
+    Recovered, ///< lost cycles repaid: de-boost to s_active
+    Watermark, ///< losses exceed the slack model: go conservative
+};
+
+/** Per-app accurate de-boosting state machine. */
+class DeboostMonitor
+{
+  public:
+    /**
+     * @param guard extra would-be misses required before declaring
+     *        recovery (absorbs UMON sampling error; paper mentions a
+     *        small guard)
+     */
+    explicit DeboostMonitor(double guard = 16.0);
+
+    /**
+     * Arm the circuit on an idle->active transition.
+     * @param s_active allocation whose performance must be matched
+     * @param miss_slack slack mode's tolerated miss overshoot
+     *        fraction (0 for strict)
+     */
+    void arm(std::uint64_t s_active, double miss_slack);
+
+    /** Disarm (app de-boosted or gone idle). */
+    void disarm();
+
+    bool armed() const { return armed_; }
+
+    /**
+     * Feed one access.
+     * @param umon the app's UMON (for sampling-factor scaling)
+     * @param probe UMON probe result for this address
+     * @param missed whether the real LLC access missed
+     */
+    DeboostEvent observe(const Umon &umon, const UmonProbe &probe,
+                         bool missed);
+
+    double wouldBeMisses() const { return wouldBeMisses_; }
+    double actualMisses() const { return actualMisses_; }
+
+  private:
+    double guard_;
+    bool armed_ = false;
+    std::uint64_t sActive_ = 0;
+    double missSlack_ = 0;
+    double wouldBeMisses_ = 0;
+    double actualMisses_ = 0;
+};
+
+} // namespace ubik

@@ -1,0 +1,71 @@
+#include "mon/miss_curve.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ubik {
+
+MissCurve::MissCurve(std::vector<double> values,
+                     std::uint64_t lines_per_point)
+    : values_(std::move(values)), linesPerPoint_(lines_per_point)
+{
+    ubik_assert(lines_per_point > 0);
+    ubik_assert(!values_.empty());
+}
+
+std::uint64_t
+MissCurve::maxLines() const
+{
+    if (values_.empty())
+        return 0;
+    return (values_.size() - 1) * linesPerPoint_;
+}
+
+double
+MissCurve::missesAtLines(std::uint64_t lines) const
+{
+    ubik_assert(!values_.empty());
+    if (values_.size() == 1)
+        return values_[0];
+    std::uint64_t max = maxLines();
+    if (lines >= max)
+        return values_.back();
+    std::uint64_t idx = lines / linesPerPoint_;
+    std::uint64_t rem = lines % linesPerPoint_;
+    double lo = values_[idx];
+    double hi = values_[idx + 1];
+    double t = static_cast<double>(rem) /
+               static_cast<double>(linesPerPoint_);
+    return lo + (hi - lo) * t;
+}
+
+MissCurve
+MissCurve::resample(std::size_t n, std::uint64_t max_lines) const
+{
+    ubik_assert(n >= 2);
+    ubik_assert(max_lines > 0);
+    std::uint64_t step = std::max<std::uint64_t>(1, max_lines / (n - 1));
+    std::vector<double> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; i++)
+        out.push_back(missesAtLines(std::min<std::uint64_t>(
+            i * step, max_lines)));
+    return MissCurve(std::move(out), step);
+}
+
+void
+MissCurve::enforceMonotone()
+{
+    for (std::size_t i = 1; i < values_.size(); i++)
+        values_[i] = std::min(values_[i], values_[i - 1]);
+}
+
+void
+MissCurve::scale(double factor)
+{
+    for (double &v : values_)
+        v *= factor;
+}
+
+} // namespace ubik

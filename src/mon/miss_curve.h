@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Miss curves: expected misses over an interval as a function of
+ * allocated cache space. Produced by UMONs at way granularity
+ * (33 points for a 32-way UMON, including the zero-allocation point)
+ * and linearly interpolated to finer granularities for the policies
+ * (the paper interpolates 32-point UMON curves to 256 points, §6).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ubik {
+
+/**
+ * A piecewise-linear miss curve. values()[i] is the expected miss
+ * count when the partition holds i * linesPerPoint() lines.
+ */
+class MissCurve
+{
+  public:
+    MissCurve() = default;
+
+    /**
+     * @param values misses at allocation i * lines_per_point;
+     *        must be non-increasing in a well-formed curve (UMON
+     *        sampling noise can violate this; enforceMonotone fixes)
+     * @param lines_per_point allocation granularity, lines
+     */
+    MissCurve(std::vector<double> values, std::uint64_t lines_per_point);
+
+    bool empty() const { return values_.empty(); }
+    std::size_t points() const { return values_.size(); }
+    std::uint64_t linesPerPoint() const { return linesPerPoint_; }
+
+    /** Total lines spanned by the curve's last point. */
+    std::uint64_t maxLines() const;
+
+    const std::vector<double> &values() const { return values_; }
+
+    /** Misses at an arbitrary allocation, linearly interpolated.
+     *  Allocations beyond the last point clamp. */
+    double missesAtLines(std::uint64_t lines) const;
+
+    /** Resample to n points spanning [0, max_lines]. */
+    MissCurve resample(std::size_t n, std::uint64_t max_lines) const;
+
+    /** Clamp any increases so the curve is non-increasing. */
+    void enforceMonotone();
+
+    /** Multiply every point (sampling-factor correction). */
+    void scale(double factor);
+
+  private:
+    std::vector<double> values_;
+    std::uint64_t linesPerPoint_ = 1;
+};
+
+} // namespace ubik

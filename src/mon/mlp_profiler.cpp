@@ -1,0 +1,61 @@
+#include "mon/mlp_profiler.h"
+
+#include "common/log.h"
+
+namespace ubik {
+
+MlpProfiler::MlpProfiler(double alpha, double default_miss_penalty)
+    : alpha_(alpha), defaultMissPenalty_(default_miss_penalty)
+{
+    ubik_assert(alpha > 0 && alpha <= 1);
+    reset();
+}
+
+void
+MlpProfiler::reset()
+{
+    profile_ = CoreProfile{};
+    profile_.missPenalty = defaultMissPenalty_;
+}
+
+void
+MlpProfiler::update(const IntervalCounters &c)
+{
+    if (c.llcAccesses == 0 || c.cycles == 0)
+        return; // idle interval: retain previous profile
+
+    double miss_rate = static_cast<double>(c.llcMisses) /
+                       static_cast<double>(c.llcAccesses);
+    double m = c.llcMisses > 0
+        ? static_cast<double>(c.missStallCycles) /
+              static_cast<double>(c.llcMisses)
+        : profile_.missPenalty;
+    // c (hit-only inter-access time): remove miss stalls from the
+    // interval, divide by accesses.
+    double busy = static_cast<double>(c.cycles) -
+                  static_cast<double>(c.missStallCycles);
+    if (busy < 0)
+        busy = 0;
+    double hit_cpa = busy / static_cast<double>(c.llcAccesses);
+    double apc = static_cast<double>(c.llcAccesses) /
+                 static_cast<double>(c.cycles);
+
+    if (!profile_.valid) {
+        profile_.missPenalty = m;
+        profile_.hitCyclesPerAccess = hit_cpa;
+        profile_.missRate = miss_rate;
+        profile_.accessesPerCycle = apc;
+        profile_.valid = true;
+        return;
+    }
+    auto ewma = [this](double old_v, double new_v) {
+        return (1.0 - alpha_) * old_v + alpha_ * new_v;
+    };
+    profile_.missPenalty = ewma(profile_.missPenalty, m);
+    profile_.hitCyclesPerAccess = ewma(profile_.hitCyclesPerAccess,
+                                       hit_cpa);
+    profile_.missRate = ewma(profile_.missRate, miss_rate);
+    profile_.accessesPerCycle = ewma(profile_.accessesPerCycle, apc);
+}
+
+} // namespace ubik

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Long-miss MLP / CPI-stack profiler in the style of Eyerman et al.
+ * (ASPLOS-12 2006), as used by Ubik (§4, §5.1).
+ *
+ * The profiler consumes the per-interval performance-counter events
+ * the paper's hardware would produce — cycles, committed instructions,
+ * LLC accesses, LLC misses, and cycles stalled on long misses — and
+ * derives the two quantities Ubik's transient math needs:
+ *
+ *   M = average processor stall cycles per LLC miss (MLP-corrected),
+ *   c = average cycles between LLC accesses if all accesses hit.
+ *
+ * Estimates are smoothed with an EWMA across intervals so a noisy
+ * interval does not destabilize the controller.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace ubik {
+
+/** One reconfiguration interval's raw performance counters. */
+struct IntervalCounters
+{
+    Cycles cycles = 0;          ///< wall cycles the app was running
+    std::uint64_t instructions = 0;
+    std::uint64_t llcAccesses = 0;
+    std::uint64_t llcMisses = 0;
+    Cycles missStallCycles = 0; ///< cycles stalled on LLC misses
+
+    void
+    clear()
+    {
+        cycles = 0;
+        instructions = 0;
+        llcAccesses = 0;
+        llcMisses = 0;
+        missStallCycles = 0;
+    }
+
+    void
+    add(const IntervalCounters &o)
+    {
+        cycles += o.cycles;
+        instructions += o.instructions;
+        llcAccesses += o.llcAccesses;
+        llcMisses += o.llcMisses;
+        missStallCycles += o.missStallCycles;
+    }
+};
+
+/** Derived per-core timing profile consumed by the policies. */
+struct CoreProfile
+{
+    /** Average stall per LLC miss, cycles (the paper's M). */
+    double missPenalty = 0;
+
+    /** Cycles between LLC accesses assuming all hits (the paper's c). */
+    double hitCyclesPerAccess = 0;
+
+    /** Observed miss probability over the interval. */
+    double missRate = 0;
+
+    /** Accesses per cycle while running (intensity). */
+    double accessesPerCycle = 0;
+
+    bool valid = false;
+};
+
+/** EWMA-smoothed profiler over interval counter snapshots. */
+class MlpProfiler
+{
+  public:
+    /**
+     * @param alpha EWMA weight of the newest interval (0..1]
+     * @param default_miss_penalty used until the first valid interval
+     */
+    explicit MlpProfiler(double alpha = 0.5,
+                         double default_miss_penalty = 200.0);
+
+    /** Fold in one interval's counters. Zero-access intervals are
+     *  ignored (idle apps keep their last profile). */
+    void update(const IntervalCounters &c);
+
+    const CoreProfile &profile() const { return profile_; }
+
+    void reset();
+
+  private:
+    double alpha_;
+    double defaultMissPenalty_;
+    CoreProfile profile_;
+};
+
+} // namespace ubik

@@ -1,0 +1,108 @@
+#include "mon/umon.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+Umon::Umon(std::uint64_t cache_lines, std::uint32_t ways,
+           std::uint32_t sets, std::uint64_t hash_salt)
+    : cacheLines_(cache_lines), ways_(ways), sets_(sets), salt_(hash_salt)
+{
+    ubik_assert(ways > 0 && sets > 0 && cache_lines > 0);
+    linesPerWay_ = std::max<std::uint64_t>(1, cache_lines / ways);
+    // Sample so that S*W tags emulate the full cache: one sampled
+    // address per (cache_lines / (sets*ways)) addresses.
+    samplingDenom_ = std::max<std::uint64_t>(
+        1, cache_lines / (static_cast<std::uint64_t>(sets) * ways));
+    samplingFactor_ = static_cast<double>(samplingDenom_);
+    tags_.assign(static_cast<std::size_t>(sets) * ways, kInvalidAddr);
+    hitCounters_.assign(ways, 0);
+}
+
+UmonProbe
+Umon::access(Addr addr)
+{
+    UmonProbe probe;
+    std::uint64_t h = mix64(addr ^ salt_);
+    if (h % samplingDenom_ != 0)
+        return probe;
+    probe.sampled = true;
+    sampledAccesses_++;
+
+    std::uint64_t set = (h / samplingDenom_) % sets_;
+    Addr *stack = &tags_[set * ways_];
+
+    // True-LRU stack search; on hit record depth and move to front.
+    for (std::uint32_t pos = 0; pos < ways_; pos++) {
+        if (stack[pos] == addr) {
+            probe.depth = pos + 1;
+            hitCounters_[pos]++;
+            // Rotate [0, pos] right by one: addr to MRU position.
+            for (std::uint32_t i = pos; i > 0; i--)
+                stack[i] = stack[i - 1];
+            stack[0] = addr;
+            return probe;
+        }
+    }
+
+    // Miss: insert at MRU, shifting the stack down (LRU falls off).
+    missCounter_++;
+    for (std::uint32_t i = ways_ - 1; i > 0; i--)
+        stack[i] = stack[i - 1];
+    stack[0] = addr;
+    return probe;
+}
+
+MissCurve
+Umon::missCurve() const
+{
+    // misses(w ways) = umon misses + hits at depths > w, scaled back
+    // to the full access stream.
+    std::vector<double> vals(ways_ + 1);
+    double tail = static_cast<double>(missCounter_);
+    for (std::uint32_t pos = 0; pos < ways_; pos++)
+        tail += static_cast<double>(hitCounters_[pos]);
+    // vals[0]: zero allocation, every sampled access misses.
+    vals[0] = tail * samplingFactor_;
+    double acc = static_cast<double>(missCounter_);
+    for (std::uint32_t w = ways_; w >= 1; w--) {
+        vals[w] = acc * samplingFactor_;
+        acc += static_cast<double>(hitCounters_[w - 1]);
+    }
+    MissCurve curve(std::move(vals), linesPerWay_);
+    curve.enforceMonotone();
+    return curve;
+}
+
+MissCurve
+Umon::missCurve(std::size_t n) const
+{
+    return missCurve().resample(n, cacheLines_);
+}
+
+void
+Umon::resetCounters()
+{
+    std::fill(hitCounters_.begin(), hitCounters_.end(), 0);
+    missCounter_ = 0;
+    sampledAccesses_ = 0;
+}
+
+} // namespace ubik

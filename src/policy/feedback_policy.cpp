@@ -1,0 +1,108 @@
+#include "policy/feedback_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "policy/policy_util.h"
+#include "common/log.h"
+
+namespace ubik {
+
+FeedbackPolicy::FeedbackPolicy(PartitionScheme &scheme,
+                               std::vector<AppMonitor> &apps,
+                               FeedbackConfig cfg)
+    : PartitionPolicy(scheme, apps), cfg_(cfg), alloc_(apps.size(), 0),
+      window_(apps.size())
+{
+    if (cfg_.gain <= 0)
+        fatal("FeedbackPolicy: gain must be positive");
+    if (cfg_.comfortFrac <= 0 || cfg_.comfortFrac >= 1)
+        fatal("FeedbackPolicy: comfort fraction must be in (0, 1)");
+
+    // Start from the StaticLC allocation: the controller adapts from
+    // a safe point rather than from zero.
+    const std::uint64_t total = scheme_.array().numLines();
+    for (AppId a = 0; a < apps_.size(); a++)
+        if (apps_[a].latencyCritical)
+            alloc_[a] = linesToBuckets(apps_[a].targetLines, total);
+}
+
+void
+FeedbackPolicy::onRequestComplete(AppId app, Cycles latency)
+{
+    window_.at(app).record(latency);
+}
+
+void
+FeedbackPolicy::reconfigure(Cycles now)
+{
+    (void)now;
+    const std::uint64_t total = scheme_.array().numLines();
+
+    std::uint64_t lc_apps = 0;
+    for (const AppMonitor &mon : apps_)
+        if (mon.latencyCritical)
+            lc_apps++;
+
+    // Allocation cap mirrors Ubik's boost cap: LC apps may never
+    // squeeze each other out entirely.
+    const std::uint64_t cap =
+        lc_apps ? kBuckets / lc_apps : kBuckets;
+
+    std::uint64_t lc_buckets = 0;
+    for (AppId a = 0; a < apps_.size(); a++) {
+        AppMonitor &mon = apps_[a];
+        if (!mon.latencyCritical)
+            continue;
+
+        LatencyRecorder &w = window_[a];
+        if (mon.deadline > 0 && !w.empty()) {
+            // Proportional step on the relative tail error, with a
+            // comfort deadband so the controller does not thrash.
+            double observed = w.tailMean(cfg_.tailPct);
+            double target = static_cast<double>(mon.deadline);
+            double error = (observed - target) / target;
+            double step = 0;
+            if (error > 0)
+                step = cfg_.gain * error * static_cast<double>(kBuckets);
+            else if (observed < cfg_.comfortFrac * target)
+                step =
+                    cfg_.gain * error * static_cast<double>(kBuckets);
+            double clamped = std::clamp(
+                step, -static_cast<double>(cfg_.maxStepBuckets),
+                static_cast<double>(cfg_.maxStepBuckets));
+            std::int64_t next =
+                static_cast<std::int64_t>(alloc_[a]) +
+                static_cast<std::int64_t>(std::llround(clamped));
+            alloc_[a] = static_cast<std::uint64_t>(std::clamp<std::int64_t>(
+                next, 1, static_cast<std::int64_t>(cap)));
+        }
+        w.clear();
+
+        scheme_.setTargetSize(partOf(a),
+                              bucketsToLines(alloc_[a], total));
+        lc_buckets += alloc_[a];
+    }
+
+    std::uint64_t batch_budget =
+        lc_buckets < kBuckets ? kBuckets - lc_buckets : 0;
+
+    std::vector<LookaheadInput> inputs;
+    std::vector<AppId> batch_ids;
+    for (AppId a = 0; a < apps_.size(); a++) {
+        if (apps_[a].latencyCritical)
+            continue;
+        LookaheadInput in = monitorInput(apps_[a], total);
+        in.minBuckets = 1;
+        inputs.push_back(std::move(in));
+        batch_ids.push_back(a);
+    }
+    if (inputs.empty())
+        return;
+    auto alloc = lookaheadAllocate(inputs, batch_budget);
+    for (std::size_t i = 0; i < batch_ids.size(); i++)
+        scheme_.setTargetSize(partOf(batch_ids[i]),
+                              bucketsToLines(alloc[i], total));
+}
+
+} // namespace ubik

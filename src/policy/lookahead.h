@@ -1,0 +1,56 @@
+/**
+ * @file
+ * UCP's Lookahead allocation algorithm (Qureshi & Patt, MICRO-39
+ * 2006, Algorithm 2).
+ *
+ * Greedy marginal-utility allocation that handles non-convex miss
+ * curves: at each step it finds, across all partitions, the extension
+ * (of any length) with the highest utility *per allocated unit*, and
+ * commits it. This avoids the classic greedy trap where a cache-
+ * fitting app (a step-shaped curve) never receives space because its
+ * first marginal unit has zero utility.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mon/miss_curve.h"
+
+namespace ubik {
+
+/**
+ * One partition's input to the allocator: a miss curve sampled at
+ * bucket granularity and a weight converting misses to the objective
+ * (e.g., the app's miss penalty M, giving cycles saved; 1.0 gives raw
+ * hits as in original UCP).
+ */
+struct LookaheadInput
+{
+    /** curve[i] = expected misses with i buckets allocated. */
+    std::vector<double> curve;
+
+    /** Objective weight per miss avoided. */
+    double weight = 1.0;
+
+    /** Lower bound on this partition's allocation, buckets. */
+    std::uint64_t minBuckets = 0;
+
+    /** Upper bound on this partition's allocation, buckets. */
+    std::uint64_t maxBuckets = ~0ull;
+};
+
+/**
+ * Run Lookahead.
+ *
+ * @param inputs per-partition curves/weights
+ * @param budget total buckets to distribute
+ * @return buckets allocated per partition (sums to <= budget; the
+ *         remainder, if any utility is exhausted, is handed to the
+ *         partition with the largest curve tail)
+ */
+std::vector<std::uint64_t> lookaheadAllocate(
+    const std::vector<LookaheadInput> &inputs, std::uint64_t budget);
+
+} // namespace ubik

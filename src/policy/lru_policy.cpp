@@ -1,0 +1,17 @@
+#include "policy/lru_policy.h"
+
+namespace ubik {
+
+LruPolicy::LruPolicy(PartitionScheme &scheme,
+                     std::vector<AppMonitor> &apps)
+    : PartitionPolicy(scheme, apps)
+{
+}
+
+void
+LruPolicy::reconfigure(Cycles now)
+{
+    (void)now; // best-effort hardware: nothing to do
+}
+
+} // namespace ubik

@@ -1,0 +1,49 @@
+#include "policy/static_lc_policy.h"
+
+#include "policy/policy_util.h"
+
+namespace ubik {
+
+StaticLcPolicy::StaticLcPolicy(PartitionScheme &scheme,
+                               std::vector<AppMonitor> &apps)
+    : PartitionPolicy(scheme, apps)
+{
+}
+
+void
+StaticLcPolicy::reconfigure(Cycles now)
+{
+    (void)now;
+    const std::uint64_t total = scheme_.array().numLines();
+
+    std::uint64_t lc_buckets = 0;
+    for (AppId a = 0; a < apps_.size(); a++) {
+        if (!apps_[a].latencyCritical)
+            continue;
+        std::uint64_t b = linesToBuckets(apps_[a].targetLines, total);
+        scheme_.setTargetSize(partOf(a), bucketsToLines(b, total));
+        lc_buckets += b;
+    }
+
+    std::uint64_t batch_budget =
+        lc_buckets < kBuckets ? kBuckets - lc_buckets : 0;
+
+    std::vector<LookaheadInput> inputs;
+    std::vector<AppId> batch_ids;
+    for (AppId a = 0; a < apps_.size(); a++) {
+        if (apps_[a].latencyCritical)
+            continue;
+        LookaheadInput in = monitorInput(apps_[a], total);
+        in.minBuckets = 1;
+        inputs.push_back(std::move(in));
+        batch_ids.push_back(a);
+    }
+    if (inputs.empty())
+        return;
+    auto alloc = lookaheadAllocate(inputs, batch_budget);
+    for (std::size_t i = 0; i < batch_ids.size(); i++)
+        scheme_.setTargetSize(partOf(batch_ids[i]),
+                              bucketsToLines(alloc[i], total));
+}
+
+} // namespace ubik

@@ -1,0 +1,158 @@
+#include "queueing/queue_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "common/log.h"
+
+namespace ubik {
+
+QueueSim::QueueSim(QueueSimParams params, std::uint64_t seed)
+    : params_(params), rng_(seed)
+{
+    if (params_.workers == 0)
+        fatal("QueueSim: need at least one worker");
+    if (params_.meanInterarrival <= 0)
+        fatal("QueueSim: open-loop arrivals require a positive "
+              "mean interarrival time");
+    if (params_.interferenceFactor < 0)
+        fatal("QueueSim: negative interference factor");
+    if (params_.abortProb < 0 || params_.abortProb > 1)
+        fatal("QueueSim: abort probability must be in [0, 1]");
+}
+
+double
+QueueSim::slowdown(std::uint32_t active) const
+{
+    if (active <= 1)
+        return 1.0;
+    return 1.0 +
+           params_.interferenceFactor * static_cast<double>(active - 1);
+}
+
+QueueSimResult
+QueueSim::run()
+{
+    QueueSimResult res;
+    res.offeredLoad = params_.service.mean() / params_.meanInterarrival /
+                      static_cast<double>(params_.workers);
+
+    std::deque<InFlight> queue; ///< admitted, waiting for a worker
+    std::vector<InFlight> busy; ///< in service
+    busy.reserve(params_.workers);
+
+    Cycles now = 0;
+    Cycles next_arrival =
+        static_cast<Cycles>(rng_.exponential(params_.meanInterarrival));
+    std::uint64_t seq = 0;
+    std::uint64_t measured_done = 0;
+    const std::uint64_t first_measured = params_.warmup;
+    const std::uint64_t last_measured =
+        params_.warmup + params_.requests; // exclusive
+
+    // Little's-law accounting over the measured window.
+    double area_in_system = 0;
+    Cycles busy_all_time = 0;
+    Cycles measure_start = 0;
+    bool measuring = false;
+
+    auto is_measured = [&](const InFlight &f) {
+        return f.seq >= first_measured && f.seq < last_measured;
+    };
+
+    while (measured_done < params_.requests) {
+        // Dispatch waiting requests to free workers.
+        while (busy.size() < params_.workers && !queue.empty()) {
+            InFlight f = queue.front();
+            queue.pop_front();
+            f.start = now;
+            f.remainingWork = params_.service.sample(rng_);
+            busy.push_back(f);
+        }
+
+        // Next event: an arrival or the earliest completion under
+        // the current interference slowdown.
+        double sf = slowdown(static_cast<std::uint32_t>(busy.size()));
+        Cycles t_next = next_arrival;
+        std::size_t done_idx = busy.size();
+        for (std::size_t i = 0; i < busy.size(); i++) {
+            Cycles cand =
+                now + std::max<Cycles>(
+                          1, static_cast<Cycles>(
+                                 std::ceil(busy[i].remainingWork * sf)));
+            if (cand < t_next ||
+                (cand == t_next && done_idx == busy.size())) {
+                t_next = cand;
+                done_idx = i;
+            }
+        }
+        ubik_assert(t_next >= now);
+
+        // Advance time: deplete in-service work, integrate stats.
+        Cycles dt = t_next - now;
+        if (dt > 0) {
+            double depletion = static_cast<double>(dt) / sf;
+            for (auto &f : busy)
+                f.remainingWork =
+                    std::max(0.0, f.remainingWork - depletion);
+            if (measuring) {
+                area_in_system +=
+                    static_cast<double>(dt) *
+                    static_cast<double>(busy.size() + queue.size());
+                if (busy.size() == params_.workers)
+                    busy_all_time += dt;
+            }
+        }
+        now = t_next;
+
+        // Ties between an arrival and a completion resolve as the
+        // arrival; the completed request drains one cycle later,
+        // which does not affect the metrics.
+        if (done_idx == busy.size() || now == next_arrival) {
+            // Arrival: admit to the queue.
+            InFlight f{};
+            f.arrival = now;
+            f.seq = seq++;
+            queue.push_back(f);
+            next_arrival =
+                now + std::max<Cycles>(
+                          1, static_cast<Cycles>(rng_.exponential(
+                                 params_.meanInterarrival)));
+            if (!measuring && f.seq == first_measured) {
+                measuring = true;
+                measure_start = now;
+            }
+            continue;
+        }
+
+        // Completion of busy[done_idx].
+        InFlight &f = busy[done_idx];
+        bool concurrent = busy.size() > 1;
+        if (concurrent && f.aborts < params_.maxAborts &&
+            rng_.chance(params_.abortProb)) {
+            // OLTP-style conflict: restart with fresh work.
+            f.remainingWork = params_.service.sample(rng_);
+            f.aborts++;
+            if (is_measured(f))
+                res.aborts++;
+            continue;
+        }
+
+        if (is_measured(f)) {
+            res.latencies.record(now - f.arrival);
+            res.serviceTimes.record(now - f.start);
+            measured_done++;
+        }
+        busy.erase(busy.begin() + static_cast<std::ptrdiff_t>(done_idx));
+    }
+
+    Cycles elapsed = now > measure_start ? now - measure_start : 1;
+    res.meanInSystem = area_in_system / static_cast<double>(elapsed);
+    res.saturationFrac = static_cast<double>(busy_all_time) /
+                         static_cast<double>(elapsed);
+    return res;
+}
+
+} // namespace ubik

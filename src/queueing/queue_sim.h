@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multi-worker request-queue simulator (the paper's §3.3 extension).
+ *
+ * The paper's servers run a single worker thread in FIFO order and
+ * defer multithreaded latency-critical workloads to future work,
+ * noting the tradeoff: more workers cut queueing delay at high load,
+ * but worker threads "interfere among themselves, block on critical
+ * sections, and in some workloads (e.g., OLTP) concurrent requests
+ * cause occasional aborts, degrading tail latency".
+ *
+ * QueueSim models exactly that tradeoff at the queueing level,
+ * decoupled from the cache simulator: a G/G/k FIFO queue with
+ * exponential (Markov) arrivals, service times drawn from the same
+ * ServiceDistribution presets the LC apps use, plus two interference
+ * knobs:
+ *
+ *  - interferenceFactor: each request's service time is inflated by
+ *    (1 + f * (concurrent_workers - 1)), modeling shared-resource
+ *    and lock contention among workers;
+ *  - abortProb: when a request finishes while others are in flight,
+ *    it aborts and restarts with this probability (OLTP-style
+ *    conflicts), re-drawing its remaining service time.
+ *
+ * The simulator is event-driven, deterministic under a seed, and
+ * reports latency/service recorders compatible with the paper's tail
+ * metrics.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "stats/latency_recorder.h"
+#include "workload/service_distribution.h"
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** Configuration for one queueing simulation. */
+struct QueueSimParams
+{
+    /** Concurrent worker threads (k in G/G/k). */
+    std::uint32_t workers = 1;
+
+    /** Mean interarrival time, cycles (exponential). */
+    double meanInterarrival = 1e6;
+
+    /** Base service-time distribution, cycles. */
+    ServiceDistribution service = ServiceDistribution::constant(2e5);
+
+    /** Measured requests (after warmup). */
+    std::uint64_t requests = 5000;
+
+    /** Warmup requests excluded from the metrics. */
+    std::uint64_t warmup = 500;
+
+    /** Per-extra-active-worker service inflation (0 = none). */
+    double interferenceFactor = 0.0;
+
+    /** Probability a request aborts and restarts when it completes
+     *  with other requests in flight (0 = never). */
+    double abortProb = 0.0;
+
+    /** Cap on restarts per request (guards pathological configs). */
+    std::uint32_t maxAborts = 8;
+};
+
+/** Results of one queueing simulation. */
+struct QueueSimResult
+{
+    /** Sojourn times (queueing + service) of measured requests. */
+    LatencyRecorder latencies;
+
+    /** Effective service times (inflated, including restarts). */
+    LatencyRecorder serviceTimes;
+
+    /** Mean number of requests in the system (for Little's law). */
+    double meanInSystem = 0;
+
+    /** Fraction of time all workers were busy. */
+    double saturationFrac = 0;
+
+    /** Total aborts across measured requests. */
+    std::uint64_t aborts = 0;
+
+    /** Offered load per worker: lambda * E[S] / k. */
+    double offeredLoad = 0;
+};
+
+/**
+ * Event-driven G/G/k FIFO queue with worker interference.
+ *
+ * Usage:
+ *   QueueSimParams p;
+ *   p.workers = 4;
+ *   QueueSimResult r = QueueSim(p, seed).run();
+ */
+class QueueSim
+{
+  public:
+    QueueSim(QueueSimParams params, std::uint64_t seed);
+
+    /** Run to completion and return the collected metrics. */
+    QueueSimResult run();
+
+  private:
+    struct InFlight
+    {
+        Cycles arrival;         ///< when the request arrived
+        Cycles start;           ///< when service (re)started
+        double remainingWork;   ///< base service cycles left
+        std::uint32_t aborts;   ///< restarts so far
+        std::uint64_t seq;      ///< admission order
+    };
+
+    /** Service-rate multiplier with `active` busy workers. */
+    double slowdown(std::uint32_t active) const;
+
+    QueueSimParams params_;
+    Rng rng_;
+};
+
+} // namespace ubik

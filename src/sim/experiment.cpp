@@ -1,0 +1,114 @@
+#include "sim/experiment.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+double
+envDouble(const char *name, double dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return std::atof(v);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t dflt)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return dflt;
+    return std::strtoull(v, nullptr, 10);
+}
+
+std::uint64_t
+scaleLines(std::uint64_t full, double scale)
+{
+    auto lines = static_cast<std::uint64_t>(
+        static_cast<double>(full) / scale);
+    lines -= lines % 64; // keep divisible by any array geometry
+    return lines ? lines : 64;
+}
+
+} // namespace
+
+ExperimentConfig
+ExperimentConfig::fromEnv()
+{
+    ExperimentConfig cfg;
+    cfg.scale = envDouble("UBIK_SCALE", 8.0);
+    if (cfg.scale < 1.0)
+        fatal("UBIK_SCALE must be >= 1 (got %f)", cfg.scale);
+    cfg.roiRequests = envU64("UBIK_REQUESTS", 100);
+    cfg.warmupRequests = envU64("UBIK_WARMUP", 25);
+    cfg.seeds = static_cast<std::uint32_t>(envU64("UBIK_SEEDS", 1));
+    cfg.mixesPerLc =
+        static_cast<std::uint32_t>(envU64("UBIK_MIXES", 3));
+    cfg.verbose = envU64("UBIK_VERBOSE", 0) != 0;
+    return cfg;
+}
+
+std::uint64_t
+ExperimentConfig::llcLines() const
+{
+    return scaleLines(bytesToLines(12_MB), scale);
+}
+
+std::uint64_t
+ExperimentConfig::privateLines() const
+{
+    return scaleLines(bytesToLines(2_MB), scale);
+}
+
+std::uint64_t
+ExperimentConfig::llc8MbLines() const
+{
+    return scaleLines(bytesToLines(8_MB), scale);
+}
+
+Cycles
+ExperimentConfig::reconfigInterval() const
+{
+    return static_cast<Cycles>(
+        static_cast<double>(msToCycles(50)) / scale);
+}
+
+CmpConfig
+ExperimentConfig::baseCmpConfig(bool out_of_order) const
+{
+    CmpConfig cfg;
+    cfg.core.outOfOrder = out_of_order;
+    cfg.llcLines = llcLines();
+    cfg.privateLinesPerCore = privateLines();
+    cfg.reconfigInterval = reconfigInterval();
+    return cfg;
+}
+
+void
+ExperimentConfig::printHeader(const char *bench_name) const
+{
+    std::printf("## %s\n", bench_name);
+    std::printf("# machine: 6-core CMP, shared LLC %.2f MB (%s scale "
+                "1:%.0f of the paper's 12MB), private baseline %.2f "
+                "MB, reconfig %.2f ms\n",
+                static_cast<double>(llcLines() * kLineBytes) / (1 << 20),
+                scale == 1.0 ? "full" : "reduced", scale,
+                static_cast<double>(privateLines() * kLineBytes) /
+                    (1 << 20),
+                cyclesToMs(reconfigInterval()));
+    std::printf("# experiment: %llu ROI + %llu warmup requests/LC "
+                "instance, %u seed(s), %u batch mixes per LC config\n",
+                static_cast<unsigned long long>(roiRequests),
+                static_cast<unsigned long long>(warmupRequests),
+                seeds, mixesPerLc);
+    std::printf("# paper-scale run: UBIK_SCALE=1 UBIK_REQUESTS=6000 "
+                "UBIK_MIXES=40 UBIK_SEEDS=8\n");
+}
+
+} // namespace ubik

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment-level configuration and machine scaling.
+ *
+ * The paper's evaluation (400 mixes, 10^15 instructions) is far
+ * beyond an offline reproduction budget, so benches default to a
+ * scaled machine: all capacities, working sets, request work, and
+ * timer intervals shrink by UBIK_SCALE (default 8), which preserves
+ * the ratios partitioning behaviour depends on (working set :
+ * partition size, transient length : request length). Environment
+ * variables restore paper-scale runs:
+ *
+ *   UBIK_SCALE    machine scale divisor (1 = paper scale; default 8)
+ *   UBIK_REQUESTS ROI requests per LC instance (default 100)
+ *   UBIK_WARMUP   warmup requests per LC instance (default 25)
+ *   UBIK_SEEDS    repeated runs per configuration (default 1)
+ *   UBIK_MIXES    batch mixes per LC config (default 3; 40 = paper)
+ *   UBIK_VERBOSE  1 = chatty progress output
+ *   UBIK_CSV_DIR  directory for per-run CSV exports (sweep benches)
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cmp.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** Scaled experiment configuration, read once from the environment. */
+struct ExperimentConfig
+{
+    double scale = 8.0;
+    std::uint64_t roiRequests = 100;
+    std::uint64_t warmupRequests = 25;
+    std::uint32_t seeds = 1;
+    std::uint32_t mixesPerLc = 3;
+    bool verbose = false;
+
+    /** Shared LLC capacity, lines (paper: 12MB). */
+    std::uint64_t llcLines() const;
+
+    /** Private / target LLC capacity, lines (paper: 2MB). */
+    std::uint64_t privateLines() const;
+
+    /** 8MB-equivalent capacity (Fig 2b). */
+    std::uint64_t llc8MbLines() const;
+
+    /** Reconfiguration interval, cycles (paper: 50ms). */
+    Cycles reconfigInterval() const;
+
+    /** Build from environment variables (see file comment). */
+    static ExperimentConfig fromEnv();
+
+    /** Base CmpConfig with the machine parameters filled in. */
+    CmpConfig baseCmpConfig(bool out_of_order = true) const;
+
+    /** Print the machine + scale header every bench emits. */
+    void printHeader(const char *bench_name) const;
+};
+
+} // namespace ubik

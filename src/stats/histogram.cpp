@@ -1,0 +1,65 @@
+#include "stats/histogram.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace ubik {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    ubik_assert(hi > lo);
+    ubik_assert(bins > 0);
+}
+
+void
+Histogram::add(double x, std::uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        counts_.front() += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        counts_.back() += weight;
+        return;
+    }
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    if (idx >= counts_.size())
+        idx = counts_.size() - 1;
+    counts_[idx] += weight;
+}
+
+double
+Histogram::binLo(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binFrac(std::size_t i) const
+{
+    if (total_ == 0)
+        return 0.0;
+    return static_cast<double>(counts_.at(i)) /
+           static_cast<double>(total_);
+}
+
+std::string
+Histogram::summary() const
+{
+    std::string out;
+    char buf[64];
+    for (std::size_t i = 0; i < counts_.size(); i++) {
+        std::snprintf(buf, sizeof(buf), "%s[%.3g:%.1f%%]",
+                      i ? " " : "", binLo(i), 100.0 * binFrac(i));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace ubik

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fixed-width histogram used for access breakdowns (Fig 2) and
+ * distribution dumps.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ubik {
+
+/** Histogram over [lo, hi) with a configurable number of linear bins. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x, std::uint64_t weight = 1);
+
+    std::uint64_t total() const { return total_; }
+    std::size_t bins() const { return counts_.size(); }
+    std::uint64_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Lower edge of bin i. */
+    double binLo(std::size_t i) const;
+
+    /** Fraction of mass in bin i. */
+    double binFrac(std::size_t i) const;
+
+    /** Render as a compact single-line summary, for logs. */
+    std::string summary() const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+};
+
+} // namespace ubik

@@ -1,0 +1,110 @@
+#include "stats/latency_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace ubik {
+
+void
+LatencyRecorder::record(Cycles latency)
+{
+    samples_.push_back(latency);
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::merge(const LatencyRecorder &other)
+{
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sortedValid_ = false;
+}
+
+void
+LatencyRecorder::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sortedCache_ = samples_;
+    std::sort(sortedCache_.begin(), sortedCache_.end());
+    sortedValid_ = true;
+}
+
+double
+LatencyRecorder::mean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0;
+    for (Cycles c : samples_)
+        sum += static_cast<double>(c);
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+LatencyRecorder::percentile(double pct) const
+{
+    ubik_assert(pct > 0 && pct <= 100);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto n = sortedCache_.size();
+    // Nearest-rank: ceil(p/100 * n), 1-indexed.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return static_cast<double>(sortedCache_[rank - 1]);
+}
+
+double
+LatencyRecorder::tailMean(double pct) const
+{
+    ubik_assert(pct > 0 && pct <= 100);
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto n = sortedCache_.size();
+    // First index included in the tail: the request at the percentile
+    // rank and everything above it.
+    std::size_t first = static_cast<std::size_t>(
+        std::floor(pct / 100.0 * static_cast<double>(n)));
+    if (first >= n)
+        first = n - 1;
+    double sum = 0;
+    for (std::size_t i = first; i < n; i++)
+        sum += static_cast<double>(sortedCache_[i]);
+    return sum / static_cast<double>(n - first);
+}
+
+double
+LatencyRecorder::cdf(Cycles x) const
+{
+    if (samples_.empty())
+        return 0.0;
+    ensureSorted();
+    auto it = std::upper_bound(sortedCache_.begin(), sortedCache_.end(), x);
+    return static_cast<double>(it - sortedCache_.begin()) /
+           static_cast<double>(sortedCache_.size());
+}
+
+std::vector<Cycles>
+LatencyRecorder::sorted() const
+{
+    ensureSorted();
+    return sortedCache_;
+}
+
+void
+LatencyRecorder::clear()
+{
+    samples_.clear();
+    sortedCache_.clear();
+    sortedValid_ = false;
+}
+
+} // namespace ubik

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Streaming mean/variance accumulator (Welford's algorithm) plus a
+ * small helper for 95% confidence intervals across repeated runs,
+ * mirroring the paper's methodology (§3.2: report CIs when > ±1%).
+ */
+
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace ubik {
+
+/** Online mean / variance / min / max over a stream of doubles. */
+class StreamingStats
+{
+  public:
+    void
+    add(double x)
+    {
+        count_++;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        if (x < min_ || count_ == 1)
+            min_ = x;
+        if (x > max_ || count_ == 1)
+            max_ = x;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+    double
+    variance() const
+    {
+        return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+    /**
+     * Half-width of the 95% confidence interval of the mean, treating
+     * samples as i.i.d. (normal approximation; adequate for the run
+     * counts we use).
+     */
+    double
+    ci95() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        return 1.96 * stddev() / std::sqrt(static_cast<double>(count_));
+    }
+
+    void
+    merge(const StreamingStats &o)
+    {
+        if (o.count_ == 0)
+            return;
+        if (count_ == 0) {
+            *this = o;
+            return;
+        }
+        double delta = o.mean_ - mean_;
+        std::uint64_t n = count_ + o.count_;
+        m2_ += o.m2_ + delta * delta *
+               static_cast<double>(count_) * static_cast<double>(o.count_) /
+               static_cast<double>(n);
+        mean_ += delta * static_cast<double>(o.count_) /
+                 static_cast<double>(n);
+        if (o.min_ < min_)
+            min_ = o.min_;
+        if (o.max_ > max_)
+            max_ = o.max_;
+        count_ = n;
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0;
+    double m2_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace ubik

@@ -1,0 +1,278 @@
+#include "trace/access_trace.h"
+
+#include <bit>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+constexpr char kMagic[4] = {'U', 'B', 'T', 'R'};
+constexpr std::uint8_t kVersion = 1;
+
+constexpr std::uint8_t kRecRequest = 0x01;
+constexpr std::uint8_t kRecAccess = 0x02;
+constexpr std::uint8_t kRecEnd = 0x03;
+
+/** Zigzag encoding maps signed deltas onto small unsigned varints. */
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+/** Cursor over a fully loaded file image. */
+struct ByteReader
+{
+    const std::vector<std::uint8_t> &buf;
+    std::size_t pos = 0;
+    const std::string &path; // for error messages
+
+    bool atEnd() const { return pos >= buf.size(); }
+
+    std::uint8_t
+    byte()
+    {
+        if (atEnd())
+            fatal("trace %s: truncated (unexpected end of file)",
+                  path.c_str());
+        return buf[pos++];
+    }
+
+    double
+    f64()
+    {
+        std::uint64_t bits = 0;
+        for (int i = 0; i < 8; i++)
+            bits |= static_cast<std::uint64_t>(byte()) << (8 * i);
+        return std::bit_cast<double>(bits);
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        int shift = 0;
+        for (;;) {
+            std::uint8_t b = byte();
+            if (shift >= 63 && (b & 0x7e))
+                fatal("trace %s: varint overflow at offset %zu",
+                      path.c_str(), pos - 1);
+            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return v;
+            shift += 7;
+        }
+    }
+};
+
+} // namespace
+
+std::uint64_t
+TraceData::accessesOf(std::uint64_t i) const
+{
+    ubik_assert(i < requestStart.size());
+    std::uint64_t end = i + 1 < requestStart.size()
+                            ? requestStart[i + 1]
+                            : accesses.size();
+    return end - requestStart[i];
+}
+
+double
+TraceData::totalWork() const
+{
+    double sum = 0;
+    for (double w : requestWork)
+        sum += w;
+    return sum;
+}
+
+double
+TraceData::apki() const
+{
+    double work = totalWork();
+    return work > 0 ? static_cast<double>(accesses.size()) / work * 1000.0
+                    : 0;
+}
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    if (!file_)
+        fatal("cannot open trace file %s for writing", path.c_str());
+    std::fwrite(kMagic, 1, sizeof(kMagic), file_);
+    putByte(kVersion);
+}
+
+TraceWriter::~TraceWriter()
+{
+    finish();
+}
+
+void
+TraceWriter::putByte(std::uint8_t b)
+{
+    if (std::fputc(b, file_) == EOF)
+        fatal("write error on trace file %s", path_.c_str());
+}
+
+void
+TraceWriter::putVarint(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        putByte(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    putByte(static_cast<std::uint8_t>(v));
+}
+
+void
+TraceWriter::putSvarint(std::int64_t v)
+{
+    putVarint(zigzag(v));
+}
+
+void
+TraceWriter::putF64(double v)
+{
+    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; i++)
+        putByte(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void
+TraceWriter::beginRequest(double instructions)
+{
+    ubik_assert(!finished_);
+    if (instructions < 0)
+        instructions = 0;
+    putByte(kRecRequest);
+    putF64(instructions);
+    requests_++;
+}
+
+void
+TraceWriter::access(Addr line_addr)
+{
+    ubik_assert(!finished_);
+    if (requests_ == 0)
+        fatal("trace %s: access recorded before any beginRequest()",
+              path_.c_str());
+    putByte(kRecAccess);
+    putSvarint(static_cast<std::int64_t>(line_addr) -
+               static_cast<std::int64_t>(prevAddr_));
+    prevAddr_ = line_addr;
+    accesses_++;
+}
+
+void
+TraceWriter::finish()
+{
+    if (finished_)
+        return;
+    putByte(kRecEnd);
+    putVarint(requests_);
+    putVarint(accesses_);
+    std::fclose(file_);
+    file_ = nullptr;
+    finished_ = true;
+}
+
+TraceData
+readTrace(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open trace file %s", path.c_str());
+    std::vector<std::uint8_t> buf;
+    std::uint8_t chunk[1 << 16];
+    std::size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
+        buf.insert(buf.end(), chunk, chunk + n);
+    std::fclose(f);
+
+    ByteReader r{buf, 0, path};
+    if (buf.size() < 5 || buf[0] != 'U' || buf[1] != 'B' ||
+        buf[2] != 'T' || buf[3] != 'R')
+        fatal("trace %s: bad magic (not a ubik trace)", path.c_str());
+    r.pos = 4;
+    std::uint8_t version = r.byte();
+    if (version != kVersion)
+        fatal("trace %s: unsupported version %u (expected %u)",
+              path.c_str(), version, kVersion);
+
+    TraceData td;
+    Addr prev = 0;
+    bool saw_end = false;
+    while (!r.atEnd()) {
+        std::uint8_t rec = r.byte();
+        switch (rec) {
+          case kRecRequest:
+            td.requestWork.push_back(r.f64());
+            td.requestStart.push_back(td.accesses.size());
+            break;
+          case kRecAccess: {
+            if (td.requestWork.empty())
+                fatal("trace %s: access before first request",
+                      path.c_str());
+            std::int64_t delta = unzigzag(r.varint());
+            prev = static_cast<Addr>(
+                static_cast<std::int64_t>(prev) + delta);
+            td.accesses.push_back(prev);
+            break;
+          }
+          case kRecEnd: {
+            std::uint64_t reqs = r.varint();
+            std::uint64_t accs = r.varint();
+            if (reqs != td.requestWork.size() ||
+                accs != td.accesses.size())
+                fatal("trace %s: footer mismatch (%llu/%llu recorded "
+                      "vs %zu/%zu parsed) — truncated capture?",
+                      path.c_str(),
+                      static_cast<unsigned long long>(reqs),
+                      static_cast<unsigned long long>(accs),
+                      td.requestWork.size(), td.accesses.size());
+            saw_end = true;
+            break;
+          }
+          default:
+            fatal("trace %s: unknown record type 0x%02x at offset %zu",
+                  path.c_str(), rec, r.pos - 1);
+        }
+        if (saw_end)
+            break;
+    }
+    if (!saw_end)
+        fatal("trace %s: missing END footer — truncated capture?",
+              path.c_str());
+    return td;
+}
+
+void
+writeTrace(const TraceData &trace, const std::string &path)
+{
+    ubik_assert(trace.requestWork.size() == trace.requestStart.size());
+    TraceWriter w(path);
+    for (std::uint64_t i = 0; i < trace.requests(); i++) {
+        w.beginRequest(trace.requestWork[i]);
+        std::uint64_t begin = trace.requestStart[i];
+        std::uint64_t end = i + 1 < trace.requests()
+                                ? trace.requestStart[i + 1]
+                                : trace.accesses.size();
+        for (std::uint64_t a = begin; a < end; a++)
+            w.access(trace.accesses[a]);
+    }
+    w.finish();
+}
+
+} // namespace ubik

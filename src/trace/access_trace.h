@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Binary LLC access-trace format: capture, storage, and replay.
+ *
+ * The paper's workloads are proprietary binaries; this repo ships
+ * calibrated synthetic models instead (DESIGN.md §2). The trace
+ * subsystem closes the loop for downstream users with *real*
+ * workloads: capture a per-line-address LLC access trace (from the
+ * synthetic generators here, or converted from any external tool),
+ * then feed it to TraceAnalyzer for exact miss curves and inertia
+ * statistics, and to UbikAdvisor for offline s_idle/s_boost sizing.
+ *
+ * Format (little-endian, varint-compressed):
+ *
+ *   magic "UBTR" + u8 version (1)
+ *   records:
+ *     0x01 REQUEST  f64le(instructions)         -- request boundary
+ *     0x02 ACCESS   svarint(addr - prevAddr)    -- one LLC access
+ *     0x03 END      varint(requests) varint(accesses)  -- footer
+ *
+ * Addresses are line addresses (byte address >> 6). Delta encoding
+ * plus LEB128 varints compress typical streams to ~2 bytes/access.
+ * The END footer carries redundant counts so truncation is detected.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ubik {
+
+/** One parsed trace, in memory. */
+struct TraceData
+{
+    /** Per-request instruction counts, in arrival order. */
+    std::vector<double> requestWork;
+
+    /** Index into `accesses` where each request's accesses begin
+     *  (parallel to requestWork; request i spans
+     *  [requestStart[i], requestStart[i+1]) or to the end). */
+    std::vector<std::uint64_t> requestStart;
+
+    /** All line addresses, in program order. */
+    std::vector<Addr> accesses;
+
+    std::uint64_t requests() const { return requestWork.size(); }
+
+    /** Accesses belonging to request i. */
+    std::uint64_t accessesOf(std::uint64_t i) const;
+
+    /** Total instructions over all requests. */
+    double totalWork() const;
+
+    /** LLC accesses per thousand instructions. */
+    double apki() const;
+};
+
+/** Streaming writer for the binary trace format. */
+class TraceWriter
+{
+  public:
+    /** Opens `path` for writing; fatal() if it cannot. */
+    explicit TraceWriter(const std::string &path);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Begin a new request that will execute `instructions`. */
+    void beginRequest(double instructions);
+
+    /** Record one LLC access (line address). */
+    void access(Addr line_addr);
+
+    /** Write the footer and close; implied by the destructor. */
+    void finish();
+
+    std::uint64_t requests() const { return requests_; }
+    std::uint64_t accesses() const { return accesses_; }
+
+  private:
+    void putByte(std::uint8_t b);
+    void putVarint(std::uint64_t v);
+    void putSvarint(std::int64_t v);
+    void putF64(double v);
+
+    std::FILE *file_;
+    std::string path_;
+    Addr prevAddr_ = 0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t accesses_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Load a binary trace from disk.
+ * fatal() on missing files, bad magic, unsupported versions, corrupt
+ * varints, or footer/count mismatches (truncated captures).
+ */
+TraceData readTrace(const std::string &path);
+
+/** Serialize an in-memory trace to disk (convenience for tests and
+ *  the capture helpers). */
+void writeTrace(const TraceData &trace, const std::string &path);
+
+} // namespace ubik

@@ -1,0 +1,118 @@
+#include "trace/csv.h"
+
+#include <algorithm>
+
+#include "sim/cmp.h"
+#include "common/log.h"
+
+namespace ubik {
+
+CsvWriter::CsvWriter(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "w");
+    if (!file_)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+std::string
+CsvWriter::quote(const std::string &cell) const
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); i++)
+        std::fprintf(file_, "%s%s", i ? "," : "",
+                     quote(cells[i]).c_str());
+    std::fprintf(file_, "\n");
+    rows_++;
+}
+
+void
+CsvWriter::row(const std::vector<double> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); i++)
+        std::fprintf(file_, "%s%.10g", i ? "," : "", cells[i]);
+    std::fprintf(file_, "\n");
+    rows_++;
+}
+
+void
+writeAllocTrace(const std::vector<AllocSample> &trace,
+                const std::string &path)
+{
+    CsvWriter csv(path);
+    std::size_t parts =
+        trace.empty() ? 0 : trace.front().targetLines.size();
+    std::vector<std::string> header = {"cycle", "ms"};
+    for (std::size_t p = 0; p < parts; p++)
+        header.push_back("part" + std::to_string(p) + "_lines");
+    csv.row(header);
+    for (const AllocSample &s : trace) {
+        std::vector<double> cells = {static_cast<double>(s.cycle),
+                                     cyclesToMs(s.cycle)};
+        for (std::uint64_t lines : s.targetLines)
+            cells.push_back(static_cast<double>(lines));
+        csv.row(cells);
+    }
+}
+
+void
+writeLatencyCdf(const LatencyRecorder &latencies, const std::string &path,
+                std::size_t points)
+{
+    CsvWriter csv(path);
+    csv.row(std::vector<std::string>{"latency_cycles", "latency_ms",
+                                     "cdf"});
+    if (latencies.empty())
+        return;
+    std::vector<Cycles> sorted = latencies.sorted();
+    points = std::max<std::size_t>(2, std::min(points, sorted.size()));
+    for (std::size_t i = 0; i < points; i++) {
+        std::size_t idx = i * (sorted.size() - 1) / (points - 1);
+        double cdf = static_cast<double>(idx + 1) /
+                     static_cast<double>(sorted.size());
+        csv.row(std::vector<double>{static_cast<double>(sorted[idx]),
+                                    cyclesToMs(sorted[idx]), cdf});
+    }
+}
+
+void
+writeMissCurve(const MissCurve &curve, const std::string &path,
+               double total_accesses)
+{
+    CsvWriter csv(path);
+    if (total_accesses > 0)
+        csv.row(std::vector<std::string>{"lines", "mb", "misses",
+                                         "miss_ratio"});
+    else
+        csv.row(std::vector<std::string>{"lines", "mb", "misses"});
+    for (std::size_t p = 0; p < curve.points(); p++) {
+        double lines = static_cast<double>(p) *
+                       static_cast<double>(curve.linesPerPoint());
+        std::vector<double> row{lines, lines * 64 / 1e6,
+                                curve.values()[p]};
+        if (total_accesses > 0)
+            row.push_back(curve.values()[p] / total_accesses);
+        csv.row(row);
+    }
+}
+
+} // namespace ubik

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * CSV export for simulation artifacts: generic row writing plus
+ * ready-made dumps for the two artifacts people plot most — the
+ * partition-allocation timelines behind Fig 4 and the latency CDFs
+ * behind Fig 1b. Benches and the CLI use these so results can leave
+ * the terminal and enter a notebook.
+ *
+ * Format choices: RFC-4180-style quoting (fields containing commas,
+ * quotes, or newlines are double-quoted with inner quotes doubled),
+ * '\n' line endings, one header row.
+ */
+
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "mon/miss_curve.h"
+#include "stats/latency_recorder.h"
+#include "common/types.h"
+
+namespace ubik {
+
+struct AllocSample;
+
+/** Streaming CSV writer with RFC-4180 quoting. */
+class CsvWriter
+{
+  public:
+    /** Opens `path` for writing; fatal() if it cannot. */
+    explicit CsvWriter(const std::string &path);
+    ~CsvWriter();
+
+    CsvWriter(const CsvWriter &) = delete;
+    CsvWriter &operator=(const CsvWriter &) = delete;
+
+    /** Write one row of string cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Write one row of numeric cells ("%.10g"). */
+    void row(const std::vector<double> &cells);
+
+    /** Rows written so far (including the header). */
+    std::uint64_t rows() const { return rows_; }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string quote(const std::string &cell) const;
+
+    std::string path_;
+    std::FILE *file_;
+    std::uint64_t rows_ = 0;
+};
+
+/**
+ * Dump a partition-allocation trace (Cmp::allocTrace()) as
+ * cycle,ms,part0,part1,... — one row per sample.
+ */
+void writeAllocTrace(const std::vector<AllocSample> &trace,
+                     const std::string &path);
+
+/**
+ * Dump a latency recorder as an empirical CDF:
+ * latency_cycles,latency_ms,cdf — one row per sample quantile.
+ * @param points rows to emit (sampled evenly over the sorted data)
+ */
+void writeLatencyCdf(const LatencyRecorder &latencies,
+                     const std::string &path, std::size_t points = 200);
+
+/**
+ * Dump a miss curve as lines,mb,misses,miss_ratio — one row per
+ * point. @param total_accesses denominator for miss_ratio (0 = omit
+ * the ratio column).
+ */
+void writeMissCurve(const MissCurve &curve, const std::string &path,
+                    double total_accesses = 0);
+
+} // namespace ubik

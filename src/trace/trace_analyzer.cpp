@@ -1,0 +1,158 @@
+#include "trace/trace_analyzer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+/** Fenwick (binary indexed) tree over access positions; counts one
+ *  "live" mark per distinct address at its most recent position. */
+class Fenwick
+{
+  public:
+    explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
+
+    /** Add `delta` at 0-based position i. */
+    void
+    add(std::size_t i, int delta)
+    {
+        for (std::size_t j = i + 1; j < tree_.size();
+             j += j & (~j + 1))
+            tree_[j] += delta;
+    }
+
+    /** Sum of marks at 0-based positions [0, i]. */
+    std::int64_t
+    prefix(std::size_t i) const
+    {
+        std::int64_t s = 0;
+        for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1))
+            s += tree_[j];
+        return s;
+    }
+
+  private:
+    std::vector<std::int64_t> tree_;
+};
+
+} // namespace
+
+std::uint64_t
+TraceAnalysis::missesAtSize(std::uint64_t lines) const
+{
+    std::uint64_t m = coldMisses;
+    for (std::uint64_t d = lines; d < distanceHistogram.size(); d++)
+        m += distanceHistogram[d];
+    return m;
+}
+
+double
+TraceAnalysis::missRatioAtSize(std::uint64_t lines) const
+{
+    return accesses > 0
+               ? static_cast<double>(missesAtSize(lines)) /
+                     static_cast<double>(accesses)
+               : 0;
+}
+
+MissCurve
+TraceAnalysis::missCurve(std::size_t points,
+                         std::uint64_t max_lines) const
+{
+    ubik_assert(points >= 2);
+    std::uint64_t per_point = std::max<std::uint64_t>(
+        1, max_lines / (points - 1));
+
+    // One reverse suffix pass, then sample at each point's size.
+    std::vector<double> vals(points, 0);
+    std::uint64_t suffix = 0;
+    std::int64_t next = static_cast<std::int64_t>(points) - 1;
+    for (std::int64_t d =
+             static_cast<std::int64_t>(distanceHistogram.size()) - 1;
+         d >= 0; d--) {
+        while (next >= 0 &&
+               static_cast<std::uint64_t>(next) * per_point >
+                   static_cast<std::uint64_t>(d))
+            vals[next--] = static_cast<double>(suffix);
+        suffix += distanceHistogram[d];
+    }
+    while (next >= 0)
+        vals[next--] = static_cast<double>(suffix);
+    for (double &v : vals)
+        v += static_cast<double>(coldMisses);
+    return MissCurve(std::move(vals), per_point);
+}
+
+TraceAnalysis
+analyzeTrace(const TraceData &trace, std::uint64_t max_tracked_distance)
+{
+    TraceAnalysis out;
+    out.accesses = trace.accesses.size();
+    out.hitsByRequestsAgo.assign(9, 0);
+
+    const std::size_t n = trace.accesses.size();
+    Fenwick marks(n);
+    std::unordered_map<Addr, std::size_t> lastPos;
+    std::unordered_map<Addr, std::uint64_t> lastReq;
+    lastPos.reserve(n / 4 + 16);
+    lastReq.reserve(n / 4 + 16);
+
+    // Track the largest distance actually seen so the histogram stays
+    // as small as the trace allows.
+    std::uint64_t max_seen = 0;
+    std::vector<std::uint64_t> hist;
+
+    std::uint64_t req = 0;
+    std::uint64_t cross_hits = 0, total_hits = 0;
+    for (std::size_t i = 0; i < n; i++) {
+        while (req + 1 < trace.requestStart.size() &&
+               i >= trace.requestStart[req + 1])
+            req++;
+        Addr a = trace.accesses[i];
+        auto it = lastPos.find(a);
+        if (it == lastPos.end()) {
+            out.coldMisses++;
+            out.footprintLines++;
+        } else {
+            std::size_t p = it->second;
+            // Distinct lines touched in (p, i): marks in [p+1, i-1],
+            // i.e. prefix(i-1) - prefix(p).
+            std::int64_t d64 =
+                marks.prefix(i > 0 ? i - 1 : 0) - marks.prefix(p);
+            ubik_assert(d64 >= 0);
+            std::uint64_t d = std::min(
+                static_cast<std::uint64_t>(d64),
+                max_tracked_distance);
+            if (d >= hist.size())
+                hist.resize(d + 1, 0);
+            hist[d]++;
+            max_seen = std::max(max_seen, d);
+
+            total_hits++;
+            std::uint64_t prev_req = lastReq[a];
+            std::uint64_t ago = req - prev_req;
+            out.hitsByRequestsAgo[std::min<std::uint64_t>(ago, 8)]++;
+            if (ago > 0)
+                cross_hits++;
+            marks.add(p, -1);
+        }
+        marks.add(i, +1);
+        lastPos[a] = i;
+        lastReq[a] = req;
+    }
+
+    if (total_hits > 0)
+        hist.resize(max_seen + 1);
+    out.distanceHistogram = std::move(hist);
+    out.crossRequestReuse =
+        total_hits > 0 ? static_cast<double>(cross_hits) /
+                             static_cast<double>(total_hits)
+                       : 0;
+    return out;
+}
+
+} // namespace ubik

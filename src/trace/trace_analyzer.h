@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Exact single-pass trace analysis: LRU miss curves via Mattson
+ * stack distances, cross-request reuse (the paper's inertia signal,
+ * Fig 2), and summary statistics.
+ *
+ * The stack-distance algorithm computes, for every access, how many
+ * *distinct* lines were touched since the previous access to the
+ * same line. An access with stack distance d hits in any fully-
+ * associative LRU cache of more than d lines, so one O(N log N) pass
+ * (hash map + Fenwick tree over access positions) yields the exact
+ * miss count at *every* cache size simultaneously — the offline
+ * ground truth the sampled UMON curves approximate.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mon/miss_curve.h"
+#include "trace/access_trace.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** Everything one analysis pass produces. */
+struct TraceAnalysis
+{
+    std::uint64_t accesses = 0;
+
+    /** Accesses to never-before-seen lines (infinite distance). */
+    std::uint64_t coldMisses = 0;
+
+    /** Distinct lines touched (the trace's total footprint). */
+    std::uint64_t footprintLines = 0;
+
+    /**
+     * histogram[d] = accesses with stack distance exactly d
+     * (d < histogram.size(); cold misses are *not* included).
+     * Misses at size S = coldMisses + sum of histogram[d] for d >= S.
+     */
+    std::vector<std::uint64_t> distanceHistogram;
+
+    /** Fraction of hits (at infinite size) whose previous touch was
+     *  in an earlier request — the paper's cross-request reuse. */
+    double crossRequestReuse = 0;
+
+    /** Hits (at infinite size) by how many requests ago the line was
+     *  last touched: [0] = same request, ..., [8] = 8+ ago (Fig 2). */
+    std::vector<std::uint64_t> hitsByRequestsAgo;
+
+    /** Exact misses with an LRU cache of `lines` lines. */
+    std::uint64_t missesAtSize(std::uint64_t lines) const;
+
+    /** Exact miss ratio at `lines`. */
+    double missRatioAtSize(std::uint64_t lines) const;
+
+    /**
+     * Exact miss curve sampled at `points` sizes up to `max_lines`
+     * (the same shape UMONs estimate online, suitable for
+     * TransientModel / UbikAdvisor).
+     */
+    MissCurve missCurve(std::size_t points,
+                        std::uint64_t max_lines) const;
+};
+
+/**
+ * Analyze a trace in one pass.
+ * @param max_tracked_distance histogram resolution; accesses with
+ *        larger distances are folded into the final bucket (they
+ *        miss at every size of interest anyway)
+ */
+TraceAnalysis analyzeTrace(const TraceData &trace,
+                           std::uint64_t max_tracked_distance = 1 << 22);
+
+} // namespace ubik

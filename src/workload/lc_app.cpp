@@ -1,0 +1,220 @@
+#include "workload/lc_app.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace ubik {
+
+LcAppParams
+LcAppParams::scaled(double scale) const
+{
+    ubik_assert(scale >= 1.0);
+    LcAppParams p = *this;
+    p.work.scale(1.0 / scale);
+    auto sc = [scale](std::uint64_t v) {
+        std::uint64_t s = static_cast<std::uint64_t>(
+            static_cast<double>(v) / scale);
+        return s ? s : 1;
+    };
+    p.hotLines = sc(hotLines);
+    p.reqLines = sc(reqLines);
+    return p;
+}
+
+namespace lc_presets {
+
+// Calibration notes. Full-scale line counts: 2MB = 32768 lines,
+// 12MB = 196608. Mean work is chosen so that, at IPC ~1.5 plus miss
+// stalls on a 2MB LLC, the mean service time lands near the paper's
+// Fig 1b CDFs; APKI values are Fig 2's labels.
+
+LcAppParams
+xapian()
+{
+    // Web search: compute-bound (0.1 APKI), long-tailed service times
+    // (zipfian query popularity -> multimodal work), small footprint.
+    LcAppParams p;
+    p.name = "xapian";
+    p.apki = 0.1;
+    p.work = ServiceDistribution::multimodal({
+        {0.55, 1.0e6, 0.5},
+        {0.30, 3.0e6, 0.4},
+        {0.15, 8.0e6, 0.3},
+    });
+    p.hotLines = 24576;  // 1.5MB index hot set
+    p.hotTheta = 0.9;
+    p.hotFrac = 0.85;
+    p.reqLines = 2048;
+    p.mlp = 2.0;
+    p.baseIpc = 1.5;
+    p.requests = 6000;
+    return p;
+}
+
+LcAppParams
+masstree()
+{
+    // In-memory KV store: near-constant short requests, large table
+    // (1.1GB >> LLC) with skewed key popularity, high MLP.
+    LcAppParams p;
+    p.name = "masstree";
+    p.apki = 8.8;
+    p.work = ServiceDistribution::lognormal(2.6e5, 0.1);
+    p.hotLines = 98304;  // 6MB hot tree region
+    p.hotTheta = 1.1;
+    p.hotFrac = 0.90;
+    p.reqLines = 512;
+    p.mlp = 4.0;
+    p.baseIpc = 1.5;
+    p.requests = 9000;
+    return p;
+}
+
+LcAppParams
+moses()
+{
+    // Statistical MT: long near-constant requests, very memory-
+    // intensive; phrase tables give no reuse at 2MB but significant
+    // reuse from ~4MB up (§7.1), i.e., a flat-then-falling miss curve.
+    LcAppParams p;
+    p.name = "moses";
+    p.apki = 25.8;
+    p.work = ServiceDistribution::lognormal(5.5e6, 0.15);
+    p.hotLines = 65536;  // 4MB phrase-table hot set
+    p.hotTheta = 0.25;   // near-uniform: little gain below full fit
+    p.hotFrac = 0.80;
+    p.reqLines = 4096;
+    p.mlp = 2.0;
+    p.baseIpc = 1.5;
+    p.requests = 900;
+    return p;
+}
+
+LcAppParams
+shore()
+{
+    // OLTP (TPC-C): multimodal transactions, significant cross-
+    // request reuse going back many requests (Fig 2).
+    LcAppParams p;
+    p.name = "shore";
+    p.apki = 5.7;
+    p.work = ServiceDistribution::multimodal({
+        {0.50, 0.7e6, 0.4},
+        {0.35, 2.0e6, 0.4},
+        {0.15, 5.5e6, 0.3},
+    });
+    p.hotLines = 49152;  // 3MB buffer-pool hot set
+    p.hotTheta = 0.8;
+    p.hotFrac = 0.85;
+    p.reqLines = 1024;
+    p.mlp = 2.0;
+    p.baseIpc = 1.5;
+    p.requests = 7500;
+    return p;
+}
+
+LcAppParams
+specjbb()
+{
+    // Middle-tier business logic: short bimodal requests, memory-
+    // intensive with substantial cross-request reuse.
+    LcAppParams p;
+    p.name = "specjbb";
+    p.apki = 16.3;
+    p.work = ServiceDistribution::multimodal({
+        {0.70, 3.0e5, 0.4},
+        {0.30, 9.0e5, 0.3},
+    });
+    p.hotLines = 40960;  // 2.5MB warehouse hot set
+    p.hotTheta = 0.7;
+    p.hotFrac = 0.85;
+    p.reqLines = 768;
+    p.mlp = 3.0;
+    p.baseIpc = 1.5;
+    p.requests = 37500;
+    return p;
+}
+
+std::vector<LcAppParams>
+all()
+{
+    return {xapian(), masstree(), moses(), shore(), specjbb()};
+}
+
+LcAppParams
+byName(const std::string &name)
+{
+    for (auto &p : all())
+        if (p.name == name)
+            return p;
+    fatal("unknown LC workload '%s'", name.c_str());
+}
+
+} // namespace lc_presets
+
+LcApp::LcApp(LcAppParams params, std::uint32_t instance, Rng rng)
+    : params_(std::move(params)), rng_(rng),
+      hotZipf_(params_.hotLines ? params_.hotLines : 1, params_.hotTheta)
+{
+    // Disjoint address spaces: bits 40+ carry the instance id; the
+    // request-private region sits above the hot set.
+    Addr base = static_cast<Addr>(instance + 1) << 40;
+    hotBase_ = base;
+    reqBase_ = base + (1ull << 36);
+}
+
+void
+LcApp::bindTrace(std::shared_ptr<const TraceData> trace)
+{
+    ubik_assert(trace != nullptr);
+    if (trace->requests() == 0)
+        fatal("LcApp::bindTrace: trace has no requests");
+    trace_ = std::move(trace);
+    // Keep replayed instances disjoint the same way generated ones
+    // are: offset the whole trace into this instance's region.
+    traceSalt_ = hotBase_;
+}
+
+double
+LcApp::startRequest(ReqId id)
+{
+    curReq_ = id;
+    if (trace_) {
+        traceReq_ = id % trace_->requests();
+        traceCursor_ = trace_->requestStart[traceReq_];
+        return trace_->requestWork[traceReq_];
+    }
+    return params_.work.sample(rng_);
+}
+
+std::uint64_t
+LcApp::requestAccesses(double instructions) const
+{
+    if (trace_)
+        return trace_->accessesOf(traceReq_);
+    double n = instructions * params_.apki / 1000.0;
+    return static_cast<std::uint64_t>(std::llround(n));
+}
+
+Addr
+LcApp::nextAddr()
+{
+    if (trace_) {
+        ubik_assert(traceCursor_ < trace_->accesses.size());
+        return traceSalt_ + trace_->accesses[traceCursor_++];
+    }
+    if (rng_.chance(params_.hotFrac))
+        return hotBase_ + hotZipf_(rng_);
+    // Private data: walk the per-request region sequentially from a
+    // request-dependent offset, so consecutive requests touch
+    // different lines (no cross-request reuse), with wrap-around reuse
+    // *within* a long request.
+    Addr a = reqBase_ +
+             (curReq_ * params_.reqLines + reqCursor_) %
+                 (params_.reqLines * 64);
+    reqCursor_++;
+    return a;
+}
+
+} // namespace ubik

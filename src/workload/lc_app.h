@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Latency-critical application models (§3, Table 1).
+ *
+ * The paper's five LC workloads (xapian, masstree, moses, shore-mt,
+ * specjbb) are not available offline, so each is replaced by a
+ * synthetic request-service generator calibrated to the published
+ * observable signature the partitioning policies interact with:
+ *
+ *  - LLC access intensity (APKI, Fig 2 labels),
+ *  - service-time distribution shape (Fig 1b CDFs),
+ *  - cross-request reuse / inertia (Fig 2 hit breakdowns), via a
+ *    shared hot working set touched by every request, and
+ *  - cache sensitivity (hot-set size & skew => miss-curve shape).
+ *
+ * An LcApp emits one line address per LLC access. Accesses split
+ * between the app's persistent hot set (zipf-distributed, reused
+ * across requests — the source of performance inertia) and a
+ * per-request private region that is never reused (request-local
+ * scratch / unique query data).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "trace/access_trace.h"
+#include "workload/service_distribution.h"
+
+namespace ubik {
+
+/** Calibrated parameters for one LC workload (full-scale units). */
+struct LcAppParams
+{
+    std::string name;
+
+    /** LLC accesses per thousand instructions (Fig 2). */
+    double apki = 10.0;
+
+    /** Per-request instruction-count distribution. */
+    ServiceDistribution work = ServiceDistribution::constant(1e6);
+
+    /** Persistent hot working set, lines (cross-request reuse). */
+    std::uint64_t hotLines = 32768;
+
+    /** Zipf exponent over the hot set (skew => cache-friendliness). */
+    double hotTheta = 0.8;
+
+    /** Fraction of accesses that go to the hot set. */
+    double hotFrac = 0.85;
+
+    /** Per-request private footprint, lines (no cross-request reuse). */
+    std::uint64_t reqLines = 1024;
+
+    /** Memory-level parallelism factor (OOO stall = mem latency/mlp). */
+    double mlp = 2.0;
+
+    /** Non-memory IPC on an OOO core. */
+    double baseIpc = 1.5;
+
+    /** ROI request count at full scale (Table 1). */
+    std::uint64_t requests = 6000;
+
+    /** Return a copy scaled down by `scale` (work and footprints). */
+    LcAppParams scaled(double scale) const;
+};
+
+/** The five paper presets (Table 1 / Fig 1 / Fig 2), full scale. */
+namespace lc_presets {
+
+LcAppParams xapian();
+LcAppParams masstree();
+LcAppParams moses();
+LcAppParams shore();
+LcAppParams specjbb();
+
+/** All five, in the paper's order. */
+std::vector<LcAppParams> all();
+
+/** Look up a preset by name; fatal() on unknown names. */
+LcAppParams byName(const std::string &name);
+
+} // namespace lc_presets
+
+/**
+ * Address-stream generator for one LC app instance. Each instance
+ * gets a disjoint address space (salted by instance id), mirroring
+ * the paper's setup where each of the three instances serves
+ * different requests.
+ */
+class LcApp
+{
+  public:
+    /**
+     * @param params calibrated workload parameters (already scaled)
+     * @param instance disambiguates address spaces across instances
+     * @param rng private random stream
+     */
+    LcApp(LcAppParams params, std::uint32_t instance, Rng rng);
+
+    const LcAppParams &params() const { return params_; }
+
+    /**
+     * Begin a new request.
+     * @return the request's instruction count
+     */
+    double startRequest(ReqId id);
+
+    /** Number of LLC accesses the current request performs. */
+    std::uint64_t requestAccesses(double instructions) const;
+
+    /** Next line address for the in-flight request. */
+    Addr nextAddr();
+
+    /**
+     * Switch to trace-replay mode: requests and accesses come from
+     * the captured trace (looping when the simulator needs more
+     * requests than the capture holds) instead of the synthetic
+     * generator. Addresses are salted by the instance id so multiple
+     * instances replaying the same trace stay disjoint, as in the
+     * paper's setup. Timing parameters (mlp, baseIpc) still come
+     * from params(); apki and the footprint knobs are ignored.
+     *
+     * fatal() on an empty trace.
+     */
+    void bindTrace(std::shared_ptr<const TraceData> trace);
+
+    /** Whether this app replays a trace. */
+    bool replaying() const { return trace_ != nullptr; }
+
+  private:
+    LcAppParams params_;
+    Rng rng_;
+    ZipfDistribution hotZipf_;
+    Addr hotBase_;
+    Addr reqBase_;
+    std::uint64_t reqCursor_ = 0; ///< rotates through reqLines
+    ReqId curReq_ = 0;
+
+    /** Replay mode (bindTrace). */
+    std::shared_ptr<const TraceData> trace_;
+    std::uint64_t traceReq_ = 0;    ///< request index within the trace
+    std::uint64_t traceCursor_ = 0; ///< next access within the trace
+    Addr traceSalt_ = 0;            ///< per-instance address offset
+};
+
+} // namespace ubik

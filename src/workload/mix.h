@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Workload-mix construction following the paper's methodology (§6).
+ *
+ * Each six-core mix runs three instances of one LC app (each serving
+ * different requests) plus three batch apps. Batch mixes cover all 20
+ * order-insensitive combinations of the four classes {n, f, t, s}
+ * taken three at a time with repetition, two randomized mixes per
+ * combination (40 batch mixes). Crossed with the 10 LC configurations
+ * (5 apps x {20%, 60%} load) this yields the paper's 400 mixes.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/batch_app.h"
+#include "workload/lc_app.h"
+
+namespace ubik {
+
+/** One three-app batch mix. */
+struct BatchMix
+{
+    std::string name; ///< e.g. "nft-0"
+    std::array<BatchAppParams, 3> apps;
+};
+
+/** One LC configuration: an app preset at a load point. */
+struct LcConfig
+{
+    LcAppParams app;
+    double load = 0.2; ///< offered load rho = lambda/mu
+};
+
+/** One full six-core mix: 3 LC instances + 3 batch apps. */
+struct MixSpec
+{
+    std::string name; ///< e.g. "xapian-lo/nft-0"
+    LcConfig lc;
+    BatchMix batch;
+};
+
+/** The 20 order-insensitive class triples, in lexicographic order. */
+std::vector<std::array<BatchClass, 3>> batchClassCombos();
+
+/**
+ * Build the batch mixes: `per_combo` randomized mixes per class
+ * combination (paper: 2, for 40 total).
+ */
+std::vector<BatchMix> buildBatchMixes(std::uint32_t per_combo = 2,
+                                      std::uint64_t seed = 1);
+
+/** The 10 LC configurations: each preset at 20% and 60% load. */
+std::vector<LcConfig> buildLcConfigs();
+
+/**
+ * Cross LC configs and batch mixes.
+ * @param max_batch_mixes cap on batch mixes used per LC config
+ *        (scaled runs use fewer; 0 = all)
+ */
+std::vector<MixSpec> buildMixes(std::uint32_t per_combo = 2,
+                                std::uint64_t seed = 1,
+                                std::uint32_t max_batch_mixes = 0);
+
+} // namespace ubik

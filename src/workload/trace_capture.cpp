@@ -1,0 +1,48 @@
+#include "workload/trace_capture.h"
+
+#include "common/log.h"
+
+namespace ubik {
+
+TraceData
+captureLcTrace(const LcAppParams &params, std::uint64_t requests,
+               std::uint64_t seed, std::uint32_t instance)
+{
+    ubik_assert(requests > 0);
+    LcApp app(params, instance, Rng(seed));
+    TraceData td;
+    td.requestWork.reserve(requests);
+    td.requestStart.reserve(requests);
+    for (ReqId r = 0; r < requests; r++) {
+        double work = app.startRequest(r);
+        td.requestWork.push_back(work);
+        td.requestStart.push_back(td.accesses.size());
+        std::uint64_t n = app.requestAccesses(work);
+        for (std::uint64_t i = 0; i < n; i++)
+            td.accesses.push_back(app.nextAddr());
+    }
+    return td;
+}
+
+TraceData
+captureBatchTrace(const BatchAppParams &params, std::uint64_t accesses,
+                  std::uint64_t seed, std::uint32_t instance)
+{
+    ubik_assert(accesses > 0);
+    BatchApp app(params, instance, Rng(seed));
+    TraceData td;
+    // One pseudo-request spanning the whole capture; instructions
+    // derived from the APKI so TraceData::apki() stays meaningful.
+    double work = params.apki > 0
+                      ? static_cast<double>(accesses) / params.apki *
+                            1000.0
+                      : 0;
+    td.requestWork.push_back(work);
+    td.requestStart.push_back(0);
+    td.accesses.reserve(accesses);
+    for (std::uint64_t i = 0; i < accesses; i++)
+        td.accesses.push_back(app.nextAddr());
+    return td;
+}
+
+} // namespace ubik

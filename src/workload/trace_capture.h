@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Trace capture from the synthetic workload generators.
+ *
+ * Records the exact per-request LLC access stream an LcApp (or the
+ * request-less stream of a BatchApp) would feed the simulator, into
+ * the in-memory TraceData form the analyzer and advisor consume.
+ * Downstream users with real workloads produce the same format from
+ * their own tools (the format is documented in trace/access_trace.h);
+ * these helpers make the pipeline self-hosting for the five paper
+ * presets, and give tests a ground-truth generator.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "trace/access_trace.h"
+#include "workload/batch_app.h"
+#include "workload/lc_app.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/**
+ * Capture `requests` requests of an LC app preset.
+ * @param params app parameters (already scaled if desired)
+ * @param seed RNG seed (deterministic capture)
+ * @param instance address-space salt, as in the simulator
+ */
+TraceData captureLcTrace(const LcAppParams &params,
+                         std::uint64_t requests, std::uint64_t seed,
+                         std::uint32_t instance = 0);
+
+/**
+ * Capture `accesses` accesses of a batch app as one synthetic
+ * "request" (batch apps have no request structure; per-request
+ * metrics are meaningless, miss curves are not).
+ */
+TraceData captureBatchTrace(const BatchAppParams &params,
+                            std::uint64_t accesses, std::uint64_t seed,
+                            std::uint32_t instance = 0);
+
+} // namespace ubik

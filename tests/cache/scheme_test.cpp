@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the PartitionScheme base machinery and the SharedLru
+ * baseline scheme.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/scheme.h"
+#include "cache/set_assoc_array.h"
+#include "cache/zcache_array.h"
+
+namespace ubik {
+namespace {
+
+SharedLru
+makeLru(std::uint64_t lines = 256, std::uint32_t parts = 4)
+{
+    return SharedLru(std::make_unique<SetAssocArray>(lines, 16, 1),
+                     parts);
+}
+
+TEST(SharedLru, MissThenHit)
+{
+    auto lru = makeLru();
+    AccessContext ctx{1, 0, 5};
+    auto out1 = lru.access(0x10, ctx);
+    EXPECT_FALSE(out1.hit);
+    auto out2 = lru.access(0x10, ctx);
+    EXPECT_TRUE(out2.hit);
+    EXPECT_EQ(lru.accesses(1), 2u);
+    EXPECT_EQ(lru.misses(1), 1u);
+}
+
+TEST(SharedLru, HitReportsPreviousRequestId)
+{
+    auto lru = makeLru();
+    AccessContext first{1, 0, 7};
+    lru.access(0xaa, first);
+    AccessContext later{1, 0, 12};
+    auto out = lru.access(0xaa, later);
+    ASSERT_TRUE(out.hit);
+    EXPECT_EQ(out.hitPrevReqId, 7u);
+    EXPECT_EQ(out.hitPrevOwner, 0u);
+}
+
+TEST(SharedLru, OwnershipTransfersOnHit)
+{
+    auto lru = makeLru();
+    AccessContext a{1, 0, 0};
+    AccessContext b{2, 1, 0};
+    lru.access(0xbb, a);
+    EXPECT_EQ(lru.ownerLines(0), 1u);
+    auto out = lru.access(0xbb, b);
+    ASSERT_TRUE(out.hit);
+    EXPECT_EQ(out.hitPrevOwner, 0u);
+    EXPECT_EQ(lru.ownerLines(0), 0u);
+    EXPECT_EQ(lru.ownerLines(1), 1u);
+}
+
+TEST(SharedLru, EvictsLeastRecentlyUsedAmongCandidates)
+{
+    // Fill a 4-way array set beyond capacity; the victim must always
+    // be the oldest-touched line in the set.
+    SharedLru lru(std::make_unique<SetAssocArray>(64, 4, 0), 2);
+    AccessContext ctx{1, 0, 0};
+    // Touch a working set larger than the whole array: every line
+    // eventually evicts, and re-touching keeps a line alive.
+    Addr hot = 0;
+    lru.access(hot, ctx);
+    for (Addr x = 1; x < 512; x++) {
+        lru.access(hot, ctx); // keep hot line MRU
+        lru.access(x, ctx);
+    }
+    // hot stayed resident the whole time: its re-accesses are hits.
+    auto out = lru.access(hot, ctx);
+    EXPECT_TRUE(out.hit);
+}
+
+TEST(SharedLru, VictimFieldsPopulated)
+{
+    SharedLru lru(std::make_unique<SetAssocArray>(16, 4, 0), 3);
+    AccessContext ctx{2, 1, 0};
+    // Overflow the array so evictions must happen.
+    bool saw_victim = false;
+    for (Addr x = 0; x < 64; x++) {
+        auto out = lru.access(x, ctx);
+        if (out.victimAddr != kInvalidAddr) {
+            saw_victim = true;
+            EXPECT_EQ(out.victimPart, 2u);
+        }
+    }
+    EXPECT_TRUE(saw_victim);
+}
+
+TEST(SharedLru, ActualSizeTracksResidency)
+{
+    auto lru = makeLru(256, 4);
+    AccessContext p1{1, 0, 0};
+    AccessContext p2{2, 1, 0};
+    for (Addr x = 0; x < 20; x++)
+        lru.access(x, p1);
+    for (Addr x = 100; x < 110; x++)
+        lru.access(x, p2);
+    EXPECT_EQ(lru.actualSize(1), 20u);
+    EXPECT_EQ(lru.actualSize(2), 10u);
+    EXPECT_EQ(lru.ownerLines(0), 20u);
+    EXPECT_EQ(lru.ownerLines(1), 10u);
+}
+
+TEST(SharedLru, ResetClearsEverything)
+{
+    auto lru = makeLru();
+    AccessContext ctx{1, 0, 0};
+    for (Addr x = 0; x < 50; x++)
+        lru.access(x, ctx);
+    lru.reset();
+    EXPECT_EQ(lru.actualSize(1), 0u);
+    EXPECT_EQ(lru.accesses(1), 0u);
+    EXPECT_EQ(lru.misses(1), 0u);
+    auto out = lru.access(0x0, ctx);
+    EXPECT_FALSE(out.hit); // flushed
+}
+
+TEST(SharedLru, WorksOnZCache)
+{
+    SharedLru lru(std::make_unique<ZCacheArray>(1024, 4, 16, 3), 2);
+    AccessContext ctx{1, 0, 0};
+    std::uint64_t hits = 0;
+    for (int rep = 0; rep < 4; rep++)
+        for (Addr x = 0; x < 512; x++)
+            hits += lru.access(x, ctx).hit ? 1 : 0;
+    // Working set (512) fits in 1024 lines: after the cold pass,
+    // everything hits.
+    EXPECT_EQ(hits, 3u * 512u);
+}
+
+TEST(SharedLru, TargetsAreAdvisoryOnly)
+{
+    // SharedLru ignores targets (unmanaged cache); setting them must
+    // not disturb behaviour.
+    auto lru = makeLru();
+    lru.setTargetSize(1, 10);
+    EXPECT_EQ(lru.targetSize(1), 10u);
+    AccessContext ctx{1, 0, 0};
+    for (Addr x = 0; x < 100; x++)
+        lru.access(x, ctx);
+    EXPECT_GT(lru.actualSize(1), 10u); // grew past the "target"
+}
+
+} // namespace
+} // namespace ubik

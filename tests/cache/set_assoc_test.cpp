@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the set-associative cache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cache/set_assoc_array.h"
+
+namespace ubik {
+namespace {
+
+TEST(SetAssocArray, Geometry)
+{
+    SetAssocArray a(1024, 16);
+    EXPECT_EQ(a.numLines(), 1024u);
+    EXPECT_EQ(a.associativity(), 16u);
+    EXPECT_EQ(a.numSets(), 64u);
+}
+
+TEST(SetAssocArray, LookupMissOnEmpty)
+{
+    SetAssocArray a(256, 16);
+    EXPECT_LT(a.lookup(0x1234), 0);
+}
+
+TEST(SetAssocArray, InstallThenLookup)
+{
+    SetAssocArray a(256, 16);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0x42, cands);
+    ASSERT_EQ(cands.size(), 16u);
+    std::uint64_t slot = a.install(0x42, cands, 0);
+    EXPECT_EQ(a.lookup(0x42), static_cast<std::int64_t>(slot));
+    EXPECT_EQ(a.meta(slot).addr, 0x42u);
+}
+
+TEST(SetAssocArray, CandidatesAreTheAddressesSet)
+{
+    SetAssocArray a(1024, 16);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0x99, cands);
+    std::uint64_t set = a.setIndex(0x99);
+    for (const auto &c : cands) {
+        EXPECT_EQ(c.slot / 16, set);
+        EXPECT_EQ(c.parent, -1); // direct candidates, no chains
+    }
+    // All distinct slots.
+    std::set<std::uint64_t> slots;
+    for (const auto &c : cands)
+        slots.insert(c.slot);
+    EXPECT_EQ(slots.size(), cands.size());
+}
+
+TEST(SetAssocArray, InstallEvictsChosenVictim)
+{
+    SetAssocArray a(64, 16);
+    std::vector<Candidate> cands;
+    // Fill one set with 16 conflicting lines.
+    std::vector<Addr> addrs;
+    Addr base = 0x1000;
+    std::uint64_t set = a.setIndex(base);
+    Addr probe = base;
+    while (addrs.size() < 16) {
+        if (a.setIndex(probe) == set) {
+            a.victimCandidates(probe, cands);
+            // Choose the first empty slot.
+            for (std::size_t i = 0; i < cands.size(); i++) {
+                if (!a.meta(cands[i].slot).valid()) {
+                    a.install(probe, cands, i);
+                    break;
+                }
+            }
+            addrs.push_back(probe);
+        }
+        probe++;
+    }
+    for (Addr x : addrs)
+        EXPECT_GE(a.lookup(x), 0);
+
+    // Find one more conflicting address and install over victim 0.
+    while (a.setIndex(probe) != set || a.lookup(probe) >= 0)
+        probe++;
+    a.victimCandidates(probe, cands);
+    Addr victim_addr = a.meta(cands[3].slot).addr;
+    a.install(probe, cands, 3);
+    EXPECT_GE(a.lookup(probe), 0);
+    EXPECT_LT(a.lookup(victim_addr), 0);
+}
+
+TEST(SetAssocArray, FlushEmptiesEverything)
+{
+    SetAssocArray a(256, 16);
+    std::vector<Candidate> cands;
+    for (Addr x = 0; x < 100; x++) {
+        a.victimCandidates(x, cands);
+        a.install(x, cands, x % 16);
+    }
+    a.flush();
+    for (Addr x = 0; x < 100; x++)
+        EXPECT_LT(a.lookup(x), 0);
+    for (std::uint64_t s = 0; s < a.numLines(); s++)
+        EXPECT_FALSE(a.meta(s).valid());
+}
+
+TEST(SetAssocArray, SaltChangesMapping)
+{
+    SetAssocArray a(4096, 16, 1), b(4096, 16, 2);
+    int diff = 0;
+    for (Addr x = 0; x < 200; x++)
+        if (a.setIndex(x) != b.setIndex(x))
+            diff++;
+    EXPECT_GT(diff, 100); // salts decorrelate most addresses
+}
+
+TEST(SetAssocArray, IndexUniformity)
+{
+    // The hashed index must spread a dense address range evenly
+    // enough that no set gets more than ~4x its fair share.
+    SetAssocArray a(4096, 16, 7);
+    std::vector<int> per_set(a.numSets(), 0);
+    const int n = 64 * 256;
+    for (Addr x = 0; x < n; x++)
+        per_set[a.setIndex(x)]++;
+    int fair = n / static_cast<int>(a.numSets());
+    for (int c : per_set)
+        EXPECT_LT(c, 4 * fair);
+}
+
+class SetAssocWays : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(SetAssocWays, ResidencyNeverExceedsCapacity)
+{
+    std::uint32_t ways = GetParam();
+    SetAssocArray a(1024, ways, 3);
+    std::vector<Candidate> cands;
+    std::uint64_t x = 12345;
+    for (int i = 0; i < 20000; i++) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        Addr addr = (x >> 20) % 8192;
+        if (a.lookup(addr) >= 0)
+            continue;
+        a.victimCandidates(addr, cands);
+        ASSERT_EQ(cands.size(), ways);
+        a.install(addr, cands, i % ways);
+        ASSERT_EQ(a.lookup(addr) >= 0, true);
+    }
+    std::uint64_t valid = 0;
+    for (std::uint64_t s = 0; s < a.numLines(); s++)
+        valid += a.meta(s).valid() ? 1 : 0;
+    EXPECT_LE(valid, a.numLines());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, SetAssocWays,
+                         ::testing::Values(4u, 16u, 64u));
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for the zcache array: candidate expansion via replacement
+ * walks, relocation chains, and the residency invariants Vantage's
+ * analysis depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/zcache_array.h"
+
+namespace ubik {
+namespace {
+
+TEST(ZCacheArray, Geometry)
+{
+    ZCacheArray a(4096, 4, 52);
+    EXPECT_EQ(a.numLines(), 4096u);
+    EXPECT_EQ(a.ways(), 4u);
+    EXPECT_EQ(a.associativity(), 52u);
+}
+
+TEST(ZCacheArray, InstallThenLookup)
+{
+    ZCacheArray a(4096, 4, 52);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0x77, cands);
+    ASSERT_FALSE(cands.empty());
+    std::uint64_t slot = a.install(0x77, cands, 0);
+    EXPECT_EQ(a.lookup(0x77), static_cast<std::int64_t>(slot));
+}
+
+TEST(ZCacheArray, CandidateCountNearTarget)
+{
+    // Walk expansion needs resident lines to relocate, so fill the
+    // array first (an empty slot is a terminal candidate anyway).
+    ZCacheArray a(8192, 4, 52);
+    std::vector<Candidate> cands;
+    for (Addr x = 0; x < 16384; x++) {
+        if (a.lookup(x) >= 0)
+            continue;
+        a.victimCandidates(x, cands);
+        a.install(x, cands, x % cands.size());
+    }
+    a.victimCandidates(0x40000, cands);
+    // First level yields `ways` candidates; walks expand to ~52.
+    EXPECT_GE(cands.size(), 40u);
+    EXPECT_LE(cands.size(), 52u);
+}
+
+TEST(ZCacheArray, CandidateSlotsDistinct)
+{
+    ZCacheArray a(8192, 4, 52);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0xdef, cands);
+    std::set<std::uint64_t> slots;
+    for (const auto &c : cands)
+        slots.insert(c.slot);
+    EXPECT_EQ(slots.size(), cands.size());
+}
+
+TEST(ZCacheArray, FirstLevelParentsAreRoots)
+{
+    ZCacheArray a(8192, 4, 52);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0x123, cands);
+    for (std::size_t i = 0; i < 4 && i < cands.size(); i++)
+        EXPECT_EQ(cands[i].parent, -1);
+    for (std::size_t i = 4; i < cands.size(); i++) {
+        ASSERT_GE(cands[i].parent, 0);
+        ASSERT_LT(static_cast<std::size_t>(cands[i].parent), i);
+    }
+}
+
+/**
+ * The defining zcache property: installing into a deep candidate
+ * relocates lines along the chain, and every previously resident
+ * line except the victim remains findable afterwards.
+ */
+TEST(ZCacheArray, RelocationsPreserveResidency)
+{
+    ZCacheArray a(1024, 4, 16, 99);
+    std::vector<Candidate> cands;
+    std::set<Addr> resident;
+    std::uint64_t x = 777;
+    for (int i = 0; i < 5000; i++) {
+        x = x * 2862933555777941757ull + 3037000493ull;
+        Addr addr = (x >> 16) % 4096;
+        if (a.lookup(addr) >= 0)
+            continue;
+        a.victimCandidates(addr, cands);
+        ASSERT_FALSE(cands.empty());
+        // Deliberately choose the *deepest* candidate to exercise the
+        // longest relocation chains.
+        std::size_t victim_idx = cands.size() - 1;
+        Addr victim = a.meta(cands[victim_idx].slot).addr;
+        a.install(addr, cands, victim_idx);
+        if (victim != kInvalidAddr)
+            resident.erase(victim);
+        resident.insert(addr);
+        // Spot-check every 97 installs to keep the test fast.
+        if (i % 97 == 0) {
+            for (Addr r : resident)
+                ASSERT_GE(a.lookup(r), 0)
+                    << "lost line after relocation chain";
+        }
+    }
+    for (Addr r : resident)
+        EXPECT_GE(a.lookup(r), 0);
+}
+
+TEST(ZCacheArray, NoDuplicateResidentAddresses)
+{
+    ZCacheArray a(512, 4, 16, 5);
+    std::vector<Candidate> cands;
+    std::uint64_t x = 31337;
+    for (int i = 0; i < 3000; i++) {
+        x = x * 6364136223846793005ull + 1;
+        Addr addr = (x >> 24) % 600; // heavy conflict pressure
+        if (a.lookup(addr) >= 0)
+            continue;
+        a.victimCandidates(addr, cands);
+        a.install(addr, cands, x % cands.size());
+    }
+    std::map<Addr, int> seen;
+    for (std::uint64_t s = 0; s < a.numLines(); s++)
+        if (a.meta(s).valid())
+            seen[a.meta(s).addr]++;
+    for (const auto &[addr, n] : seen)
+        EXPECT_EQ(n, 1) << "address " << addr << " resident twice";
+}
+
+TEST(ZCacheArray, WaySlotConsistentWithCandidates)
+{
+    ZCacheArray a(4096, 4, 52, 11);
+    std::vector<Candidate> cands;
+    a.victimCandidates(0x5555, cands);
+    // First-level candidates must be the address's own way slots.
+    std::set<std::uint64_t> own;
+    for (std::uint32_t w = 0; w < 4; w++)
+        own.insert(a.waySlot(0x5555, w));
+    for (std::size_t i = 0; i < 4 && i < cands.size(); i++)
+        EXPECT_TRUE(own.count(cands[i].slot));
+}
+
+TEST(ZCacheArray, FlushEmptiesEverything)
+{
+    ZCacheArray a(512, 4, 16);
+    std::vector<Candidate> cands;
+    for (Addr x = 0; x < 100; x++) {
+        if (a.lookup(x) >= 0)
+            continue;
+        a.victimCandidates(x, cands);
+        a.install(x, cands, 0);
+    }
+    a.flush();
+    for (std::uint64_t s = 0; s < a.numLines(); s++)
+        EXPECT_FALSE(a.meta(s).valid());
+}
+
+class ZCacheStress
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(ZCacheStress, LookupAlwaysFindsLastInstall)
+{
+    auto [ways, cand_target] = GetParam();
+    ZCacheArray a(2048, ways, cand_target, 17);
+    std::vector<Candidate> cands;
+    std::uint64_t x = 9001;
+    for (int i = 0; i < 4000; i++) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        Addr addr = x % 10000;
+        if (a.lookup(addr) >= 0)
+            continue;
+        a.victimCandidates(addr, cands);
+        std::uint64_t slot = a.install(addr, cands, x % cands.size());
+        ASSERT_EQ(a.lookup(addr), static_cast<std::int64_t>(slot));
+        ASSERT_EQ(a.meta(slot).addr, addr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ZCacheStress,
+    ::testing::Values(std::make_pair(2u, 8u), std::make_pair(4u, 16u),
+                      std::make_pair(4u, 52u),
+                      std::make_pair(8u, 64u)));
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Tests for the command-line flag parser: value forms, types,
+ * defaults, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/cli.h"
+
+namespace ubik {
+namespace {
+
+TEST(Cli, DefaultsSurviveEmptyCommandLine)
+{
+    Cli cli("t", "test");
+    auto &s = cli.flag("name", "dflt", "h");
+    auto &i = cli.flag("count", static_cast<std::int64_t>(7), "h");
+    auto &d = cli.flag("ratio", 0.5, "h");
+    auto &b = cli.flag("fast", false, "h");
+    const char *argv[] = {"t"};
+    cli.parse(1, argv);
+    EXPECT_EQ(s.value, "dflt");
+    EXPECT_EQ(i.value, 7);
+    EXPECT_DOUBLE_EQ(d.value, 0.5);
+    EXPECT_FALSE(b.value);
+    EXPECT_FALSE(s.seen);
+}
+
+TEST(Cli, ParsesSpaceSeparatedValues)
+{
+    Cli cli("t", "test");
+    auto &s = cli.flag("name", "x", "h");
+    auto &i = cli.flag("count", static_cast<std::int64_t>(0), "h");
+    auto &d = cli.flag("ratio", 0.0, "h");
+    const char *argv[] = {"t",       "--name",  "hello", "--count",
+                          "42",      "--ratio", "0.25"};
+    cli.parse(7, argv);
+    EXPECT_EQ(s.value, "hello");
+    EXPECT_TRUE(s.seen);
+    EXPECT_EQ(i.value, 42);
+    EXPECT_DOUBLE_EQ(d.value, 0.25);
+}
+
+TEST(Cli, ParsesEqualsForm)
+{
+    Cli cli("t", "test");
+    auto &s = cli.flag("name", "x", "h");
+    auto &d = cli.flag("ratio", 0.0, "h");
+    const char *argv[] = {"t", "--name=world", "--ratio=1.5"};
+    cli.parse(3, argv);
+    EXPECT_EQ(s.value, "world");
+    EXPECT_DOUBLE_EQ(d.value, 1.5);
+}
+
+TEST(Cli, BoolFlagFormsWork)
+{
+    {
+        Cli cli("t", "test");
+        auto &b = cli.flag("fast", false, "h");
+        const char *argv[] = {"t", "--fast"};
+        cli.parse(2, argv);
+        EXPECT_TRUE(b.value);
+    }
+    {
+        Cli cli("t", "test");
+        auto &b = cli.flag("fast", true, "h");
+        const char *argv[] = {"t", "--fast=false"};
+        cli.parse(2, argv);
+        EXPECT_FALSE(b.value);
+    }
+    {
+        Cli cli("t", "test");
+        auto &b = cli.flag("fast", false, "h");
+        const char *argv[] = {"t", "--fast=1"};
+        cli.parse(2, argv);
+        EXPECT_TRUE(b.value);
+    }
+}
+
+TEST(Cli, NegativeAndHexIntegers)
+{
+    Cli cli("t", "test");
+    auto &i = cli.flag("count", static_cast<std::int64_t>(0), "h");
+    const char *argv[] = {"t", "--count", "-12"};
+    cli.parse(3, argv);
+    EXPECT_EQ(i.value, -12);
+
+    Cli cli2("t", "test");
+    auto &j = cli2.flag("count", static_cast<std::int64_t>(0), "h");
+    const char *argv2[] = {"t", "--count", "0x10"};
+    cli2.parse(3, argv2);
+    EXPECT_EQ(j.value, 16);
+}
+
+TEST(Cli, UnknownFlagIsFatal)
+{
+    Cli cli("t", "test");
+    cli.flag("name", "x", "h");
+    const char *argv[] = {"t", "--nmae", "oops"};
+    EXPECT_EXIT(cli.parse(3, argv), testing::ExitedWithCode(1),
+                "unknown flag");
+}
+
+TEST(Cli, MissingValueIsFatal)
+{
+    Cli cli("t", "test");
+    cli.flag("name", "x", "h");
+    const char *argv[] = {"t", "--name"};
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(Cli, BadNumbersAreFatal)
+{
+    {
+        Cli cli("t", "test");
+        cli.flag("count", static_cast<std::int64_t>(0), "h");
+        const char *argv[] = {"t", "--count", "12abc"};
+        EXPECT_EXIT(cli.parse(3, argv), testing::ExitedWithCode(1),
+                    "not an integer");
+    }
+    {
+        Cli cli("t", "test");
+        cli.flag("ratio", 0.0, "h");
+        const char *argv[] = {"t", "--ratio", "zero"};
+        EXPECT_EXIT(cli.parse(3, argv), testing::ExitedWithCode(1),
+                    "not a number");
+    }
+    {
+        Cli cli("t", "test");
+        cli.flag("fast", false, "h");
+        const char *argv[] = {"t", "--fast=maybe"};
+        EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                    "not a boolean");
+    }
+}
+
+TEST(Cli, PositionalArgumentsRejected)
+{
+    Cli cli("t", "test");
+    const char *argv[] = {"t", "stray"};
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(1),
+                "unexpected argument");
+}
+
+TEST(Cli, DuplicateDeclarationIsFatal)
+{
+    Cli cli("t", "test");
+    cli.flag("name", "x", "h");
+    EXPECT_EXIT(cli.flag("name", "y", "h"), testing::ExitedWithCode(1),
+                "duplicate");
+}
+
+TEST(Cli, HelpExitsZero)
+{
+    Cli cli("t", "test");
+    cli.flag("name", "x", "the name");
+    const char *argv[] = {"t", "--help"};
+    // The help text goes to stdout; EXPECT_EXIT only matches stderr,
+    // so assert the exit code alone.
+    EXPECT_EXIT(cli.parse(2, argv), testing::ExitedWithCode(0), "");
+}
+
+} // namespace
+} // namespace ubik

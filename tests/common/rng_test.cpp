@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the deterministic RNG and its distributions. Every
+ * stochastic component of the simulator flows through these, so the
+ * statistical properties checked here (means, ranges, skew) underpin
+ * the workload models' calibration.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ubik {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        if (a.next() == b.next())
+            same++;
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic)
+{
+    Rng a(7);
+    Rng f1 = a.fork();
+    // Re-create: same parent seed, same fork order => same stream.
+    Rng b(7);
+    Rng f2 = b.fork();
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(f1.next(), f2.next());
+    // Fork differs from parent continuation.
+    EXPECT_NE(a.next(), f1.next());
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    double sum = 0;
+    for (int i = 0; i < 100000; i++) {
+        double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 100000, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng rng(4);
+    for (int i = 0; i < 10000; i++) {
+        double u = rng.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; i++) {
+        std::uint64_t v = rng.uniformInt(10);
+        ASSERT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u); // all values hit
+}
+
+TEST(Rng, UniformIntInclusiveRange)
+{
+    Rng rng(6);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; i++) {
+        std::uint64_t v = rng.uniformInt(5, 8);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 8u);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(8);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++) {
+        double e = rng.exponential(250.0);
+        ASSERT_GE(e, 0.0);
+        sum += e;
+    }
+    EXPECT_NEAR(sum / n, 250.0, 2.5);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(9);
+    double sum = 0, sq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; i++) {
+        double x = rng.normal();
+        sum += x;
+        sq += x * x;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMean)
+{
+    // E[exp(mu + sigma Z)] = exp(mu + sigma^2/2).
+    Rng rng(10);
+    double mu = std::log(1000.0), sigma = 0.5;
+    double expect = std::exp(mu + sigma * sigma / 2);
+    double sum = 0;
+    const int n = 300000;
+    for (int i = 0; i < n; i++)
+        sum += rng.lognormal(mu, sigma);
+    EXPECT_NEAR(sum / n / expect, 1.0, 0.02);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ChanceProbability)
+{
+    Rng rng(12);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class ZipfTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ZipfTest, RangeAndSkew)
+{
+    const double theta = GetParam();
+    const std::uint64_t n = 1000;
+    ZipfDistribution zipf(n, theta);
+    Rng rng(13);
+    std::vector<std::uint64_t> counts(n, 0);
+    const int draws = 200000;
+    for (int i = 0; i < draws; i++) {
+        std::uint64_t v = zipf(rng);
+        ASSERT_LT(v, n);
+        counts[v]++;
+    }
+    // Rank 0 must be the most popular for any positive skew, and the
+    // head must dominate the tail increasingly with theta.
+    std::uint64_t max_count =
+        *std::max_element(counts.begin(), counts.end());
+    EXPECT_EQ(counts[0], max_count);
+    double head = 0, tail = 0;
+    for (std::uint64_t i = 0; i < n; i++)
+        (i < n / 10 ? head : tail) += static_cast<double>(counts[i]);
+    if (theta >= 0.8) {
+        EXPECT_GT(head, tail); // strong skew: top 10% > rest
+    }
+    EXPECT_GT(head / draws, 0.1); // always more than proportional
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, ZipfTest,
+                         ::testing::Values(0.2, 0.6, 0.8, 0.99, 1.2));
+
+TEST(Zipf, SingleElement)
+{
+    ZipfDistribution zipf(1, 0.9);
+    Rng rng(14);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(DiscreteDistribution, RespectsWeights)
+{
+    DiscreteDistribution d({1.0, 2.0, 1.0});
+    Rng rng(15);
+    std::vector<int> counts(3, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        counts[d(rng)]++;
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.25, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.50, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(DiscreteDistribution, SingleBucket)
+{
+    DiscreteDistribution d({5.0});
+    Rng rng(16);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(d(rng), 0u);
+}
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the accurate de-boosting circuit (§5.1.1) and the slack
+ * low watermark (§5.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/deboost_monitor.h"
+
+namespace ubik {
+namespace {
+
+/** UMON whose sampling factor we control; tags are irrelevant here
+ *  because we feed synthetic probes. */
+Umon
+makeUmon()
+{
+    return Umon(1024, 8, 4, 0); // sampling factor 32
+}
+
+UmonProbe
+sampledAtDepth(std::uint32_t depth)
+{
+    UmonProbe p;
+    p.sampled = true;
+    p.depth = depth;
+    return p;
+}
+
+TEST(DeboostMonitor, StartsDisarmed)
+{
+    DeboostMonitor d;
+    EXPECT_FALSE(d.armed());
+    Umon u = makeUmon();
+    EXPECT_EQ(d.observe(u, sampledAtDepth(0), true),
+              DeboostEvent::None);
+}
+
+TEST(DeboostMonitor, RecoversWhenWouldBeMissesExceedActual)
+{
+    Umon u = makeUmon(); // 128 lines/way, factor 32
+    DeboostMonitor d(/*guard=*/48.0);
+    d.arm(/*s_active=*/256, /*miss_slack=*/0.0);
+    ASSERT_TRUE(d.armed());
+
+    // Probes at depth 4 (needs 512 lines) would miss at s_active=256:
+    // each adds samplingFactor (32) would-be misses. The real cache
+    // (boosted) hits. After two such probes (64 >= 0 + 48 guard) the
+    // transient cost is considered repaid.
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::None);
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::Recovered);
+    EXPECT_FALSE(d.armed());
+}
+
+TEST(DeboostMonitor, ActualMissesDelayRecovery)
+{
+    Umon u = makeUmon();
+    DeboostMonitor d(16.0);
+    d.arm(256, 0.0);
+    // 40 real misses pile up first (cold boost transient).
+    for (int i = 0; i < 40; i++)
+        EXPECT_EQ(d.observe(u, UmonProbe{}, true), DeboostEvent::None);
+    // Needs wouldBe >= 40 + 16 = 56 -> two depth-4 probes (64).
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::None);
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::Recovered);
+}
+
+TEST(DeboostMonitor, HitsAtShallowDepthDoNotCount)
+{
+    // Depth-1 probes hit even at s_active: no would-be misses accrue,
+    // so the circuit must not fire.
+    Umon u = makeUmon();
+    DeboostMonitor d(16.0);
+    d.arm(256, 0.0);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_EQ(d.observe(u, sampledAtDepth(1), false),
+                  DeboostEvent::None);
+    EXPECT_TRUE(d.armed());
+}
+
+TEST(DeboostMonitor, ArmResetsCounters)
+{
+    Umon u = makeUmon();
+    DeboostMonitor d(16.0);
+    d.arm(256, 0.0);
+    d.observe(u, sampledAtDepth(4), false);
+    EXPECT_GT(d.wouldBeMisses(), 0.0);
+    d.arm(256, 0.0);
+    EXPECT_EQ(d.wouldBeMisses(), 0.0);
+    EXPECT_EQ(d.actualMisses(), 0.0);
+}
+
+TEST(DeboostMonitor, DisarmStopsEvents)
+{
+    Umon u = makeUmon();
+    DeboostMonitor d(16.0);
+    d.arm(256, 0.0);
+    d.disarm();
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+                  DeboostEvent::None);
+}
+
+TEST(DeboostMonitor, WatermarkFiresUnderSlackOnly)
+{
+    Umon u = makeUmon();
+    // Strict circuit: no watermark no matter how bad things get.
+    DeboostMonitor strict(4.0);
+    strict.arm(256, 0.0);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_EQ(strict.observe(u, UmonProbe{}, true),
+                  DeboostEvent::None);
+
+    // Slack circuit: actual misses far beyond the prediction trip the
+    // low watermark.
+    DeboostMonitor slack(4.0);
+    slack.arm(256, 0.5);
+    DeboostEvent ev = DeboostEvent::None;
+    for (int i = 0; i < 1000 && ev == DeboostEvent::None; i++)
+        ev = slack.observe(u, UmonProbe{}, true);
+    EXPECT_EQ(ev, DeboostEvent::Watermark);
+    EXPECT_FALSE(slack.armed());
+}
+
+TEST(DeboostMonitor, WatermarkNeedsEvidence)
+{
+    // A couple of early misses must not trip the watermark (the
+    // comparison needs enough events to be trustworthy).
+    Umon u = makeUmon();
+    DeboostMonitor d(16.0);
+    d.arm(256, 0.1);
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(d.observe(u, UmonProbe{}, true), DeboostEvent::None);
+}
+
+TEST(DeboostMonitor, GuardAbsorbsSamplingNoise)
+{
+    // With a large guard, a single would-be miss (factor 32) is not
+    // enough to declare recovery.
+    Umon u = makeUmon();
+    DeboostMonitor d(65.0);
+    d.arm(256, 0.0);
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::None); // 32 < 65
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::None); // 64 < 65
+    EXPECT_EQ(d.observe(u, sampledAtDepth(4), false),
+              DeboostEvent::Recovered); // 96 >= 0 + 65
+}
+
+} // namespace
+} // namespace ubik

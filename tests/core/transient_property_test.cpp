@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Property sweeps over the analytical transient model (§5.1): the
+ * soundness relations Ubik's safety argument rests on, verified
+ * across a grid of miss-curve shapes and timing profiles.
+ *
+ * Core property: for every (curve, profile, s1 < s2),
+ *   exact duration <= upper-bound duration, and
+ *   exact lost cycles <= upper-bound lost cycles —
+ * the bounds are what make strict Ubik *strict*.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/transient_model.h"
+
+namespace ubik {
+namespace {
+
+/** Synthetic miss curves spanning the paper's workload taxonomy. */
+enum class CurveShape
+{
+    Linear,      ///< steady marginal utility
+    Convex,      ///< classic diminishing returns (friendly)
+    Cliff,       ///< cache-fitting: flat, then a drop, then flat
+    Flat,        ///< insensitive/streaming: size barely matters
+};
+
+MissCurve
+makeCurve(CurveShape shape, std::uint64_t max_lines, double base_misses)
+{
+    const std::size_t n = 33;
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; i++) {
+        double x = static_cast<double>(i) / (n - 1);
+        double frac = 0;
+        switch (shape) {
+          case CurveShape::Linear:
+            frac = 1.0 - 0.9 * x;
+            break;
+          case CurveShape::Convex:
+            frac = 0.1 + 0.9 * std::exp(-4.0 * x);
+            break;
+          case CurveShape::Cliff:
+            frac = x < 0.5 ? 1.0 : 0.15;
+            break;
+          case CurveShape::Flat:
+            frac = 0.95 - 0.05 * x;
+            break;
+        }
+        v[i] = base_misses * frac;
+    }
+    return MissCurve(std::move(v), max_lines / (n - 1));
+}
+
+CoreProfile
+makeProfile(double c, double m, double miss_rate)
+{
+    CoreProfile p;
+    p.hitCyclesPerAccess = c;
+    p.missPenalty = m;
+    p.missRate = miss_rate;
+    return p;
+}
+
+class TransientPropertySweep
+    : public testing::TestWithParam<std::tuple<CurveShape, double, double>>
+{
+  protected:
+    static constexpr std::uint64_t kMax = 16384;
+    static constexpr std::uint64_t kAccesses = 100000;
+
+    TransientModel
+    model() const
+    {
+        auto [shape, c, m] = GetParam();
+        return TransientModel(makeCurve(shape, kMax, 20000),
+                              kAccesses, makeProfile(c, m, 0.2));
+    }
+};
+
+TEST_P(TransientPropertySweep, UpperBoundDominatesExact)
+{
+    TransientModel tm = model();
+    for (std::uint64_t s1 : {0ull, 2048ull, 4096ull, 8192ull}) {
+        for (std::uint64_t s2 : {4096ull, 8192ull, 12288ull, 16384ull}) {
+            if (s2 <= s1)
+                continue;
+            TransientEstimate ex = tm.exact(s1, s2);
+            TransientEstimate ub = tm.upperBound(s1, s2);
+            if (ub.unbounded)
+                continue; // no claim to check
+            EXPECT_FALSE(ex.unbounded);
+            // Tiny numerical tolerance: both sums round differently.
+            EXPECT_LE(ex.duration, ub.duration * 1.0001)
+                << "s1=" << s1 << " s2=" << s2;
+            EXPECT_LE(ex.lostCycles, ub.lostCycles * 1.0001)
+                << "s1=" << s1 << " s2=" << s2;
+        }
+    }
+}
+
+TEST_P(TransientPropertySweep, EstimatesAreNonNegative)
+{
+    TransientModel tm = model();
+    TransientEstimate ex = tm.exact(1024, 9216);
+    TransientEstimate ub = tm.upperBound(1024, 9216);
+    EXPECT_GE(ex.duration, 0.0);
+    EXPECT_GE(ex.lostCycles, 0.0);
+    EXPECT_GE(ub.duration, 0.0);
+    EXPECT_GE(ub.lostCycles, 0.0);
+}
+
+TEST_P(TransientPropertySweep, DurationMonotoneInResizeSpan)
+{
+    // Growing further from the same start can only take longer.
+    TransientModel tm = model();
+    double prev = 0;
+    for (std::uint64_t s2 = 4096; s2 <= 16384; s2 += 2048) {
+        TransientEstimate ex = tm.exact(2048, s2);
+        if (ex.unbounded)
+            break;
+        EXPECT_GE(ex.duration, prev);
+        prev = ex.duration;
+    }
+}
+
+TEST_P(TransientPropertySweep, NullResizeIsFree)
+{
+    TransientModel tm = model();
+    for (std::uint64_t s : {0ull, 4096ull, 16384ull}) {
+        TransientEstimate ex = tm.exact(s, s);
+        EXPECT_DOUBLE_EQ(ex.duration, 0.0);
+        EXPECT_DOUBLE_EQ(ex.lostCycles, 0.0);
+    }
+}
+
+TEST_P(TransientPropertySweep, GainRateNonNegativeAndZeroForNullGap)
+{
+    TransientModel tm = model();
+    EXPECT_GE(tm.gainRate(4096, 12288), 0.0);
+    EXPECT_DOUBLE_EQ(tm.gainRate(8192, 8192), 0.0);
+}
+
+TEST_P(TransientPropertySweep, MissProbNonIncreasingInSize)
+{
+    TransientModel tm = model();
+    double prev = 1.0;
+    for (std::uint64_t s = 0; s <= kMax; s += 1024) {
+        double p = tm.missProb(s);
+        EXPECT_LE(p, prev + 1e-12);
+        EXPECT_GE(p, 0.0);
+        prev = p;
+    }
+}
+
+std::string
+sweepName(
+    const testing::TestParamInfo<std::tuple<CurveShape, double, double>>
+        &info)
+{
+    CurveShape shape = std::get<0>(info.param);
+    const char *s = shape == CurveShape::Linear   ? "Linear"
+                    : shape == CurveShape::Convex ? "Convex"
+                    : shape == CurveShape::Cliff  ? "Cliff"
+                                                  : "Flat";
+    return std::string(s) + "_c" +
+           std::to_string(static_cast<int>(std::get<1>(info.param))) +
+           "_M" +
+           std::to_string(static_cast<int>(std::get<2>(info.param)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, TransientPropertySweep,
+    testing::Combine(testing::Values(CurveShape::Linear,
+                                     CurveShape::Convex,
+                                     CurveShape::Cliff,
+                                     CurveShape::Flat),
+                     testing::Values(30.0, 123.0),   // c
+                     testing::Values(100.0, 400.0)), // M
+    sweepName);
+
+} // namespace
+} // namespace ubik

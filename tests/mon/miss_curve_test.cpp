@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for MissCurve interpolation and resampling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mon/miss_curve.h"
+
+namespace ubik {
+namespace {
+
+TEST(MissCurve, EmptyByDefault)
+{
+    MissCurve c;
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.points(), 0u);
+}
+
+TEST(MissCurve, PointLookup)
+{
+    MissCurve c({100, 60, 30, 10}, 8);
+    EXPECT_EQ(c.points(), 4u);
+    EXPECT_EQ(c.linesPerPoint(), 8u);
+    EXPECT_EQ(c.maxLines(), 24u);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(0), 100.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(8), 60.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(16), 30.0);
+}
+
+TEST(MissCurve, LinearInterpolation)
+{
+    MissCurve c({100, 60, 30, 10}, 8);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(4), 80.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(12), 45.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(20), 20.0);
+}
+
+TEST(MissCurve, ClampsBeyondLastPoint)
+{
+    MissCurve c({100, 50}, 10);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(10), 50.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(1000), 50.0);
+}
+
+TEST(MissCurve, ResamplePreservesEndpointsAndShape)
+{
+    MissCurve c({100, 60, 30, 10}, 8);
+    MissCurve r = c.resample(25, 24);
+    EXPECT_EQ(r.points(), 25u);
+    EXPECT_EQ(r.linesPerPoint(), 1u);
+    EXPECT_DOUBLE_EQ(r.missesAtLines(0), 100.0);
+    EXPECT_DOUBLE_EQ(r.missesAtLines(24), 10.0);
+    // Interior values match linear interpolation of the original.
+    for (std::uint64_t l = 0; l <= 24; l++)
+        EXPECT_NEAR(r.missesAtLines(l), c.missesAtLines(l), 1e-9);
+}
+
+TEST(MissCurve, ResampleToWiderSpanClamps)
+{
+    MissCurve c({100, 10}, 16);
+    MissCurve r = c.resample(5, 64);
+    EXPECT_DOUBLE_EQ(r.missesAtLines(16), 10.0);
+    EXPECT_DOUBLE_EQ(r.missesAtLines(64), 10.0);
+}
+
+TEST(MissCurve, EnforceMonotone)
+{
+    MissCurve c({100, 120, 30, 40, 10}, 1);
+    c.enforceMonotone();
+    const auto &v = c.values();
+    EXPECT_DOUBLE_EQ(v[0], 100.0);
+    EXPECT_DOUBLE_EQ(v[1], 100.0);
+    EXPECT_DOUBLE_EQ(v[2], 30.0);
+    EXPECT_DOUBLE_EQ(v[3], 30.0);
+    EXPECT_DOUBLE_EQ(v[4], 10.0);
+}
+
+TEST(MissCurve, Scale)
+{
+    MissCurve c({10, 5}, 4);
+    c.scale(96.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(0), 960.0);
+    EXPECT_DOUBLE_EQ(c.missesAtLines(4), 480.0);
+}
+
+class ResampleProperty : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(ResampleProperty, MonotoneInputStaysMonotone)
+{
+    MissCurve c({1000, 800, 500, 499, 100, 0}, 32);
+    MissCurve r = c.resample(GetParam(), c.maxLines());
+    const auto &v = r.values();
+    for (std::size_t i = 1; i < v.size(); i++)
+        EXPECT_LE(v[i], v[i - 1] + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ResampleProperty,
+                         ::testing::Values(2u, 7u, 33u, 257u));
+
+} // namespace
+} // namespace ubik

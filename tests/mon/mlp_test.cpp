@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Tests for the MLP/CPI-stack profiler deriving Ubik's c and M.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mon/mlp_profiler.h"
+
+namespace ubik {
+namespace {
+
+IntervalCounters
+counters(Cycles cycles, std::uint64_t instr, std::uint64_t acc,
+         std::uint64_t miss, Cycles stall)
+{
+    IntervalCounters c;
+    c.cycles = cycles;
+    c.instructions = instr;
+    c.llcAccesses = acc;
+    c.llcMisses = miss;
+    c.missStallCycles = stall;
+    return c;
+}
+
+TEST(MlpProfiler, InvalidUntilFirstInterval)
+{
+    MlpProfiler p;
+    EXPECT_FALSE(p.profile().valid);
+    EXPECT_DOUBLE_EQ(p.profile().missPenalty, 200.0); // default M
+}
+
+TEST(MlpProfiler, DerivesPaperExample)
+{
+    // The paper's §5.1 worked example: IPC = 1.5, 5 LLC accesses per
+    // thousand instructions, 10% miss rate, M = 100 =>
+    // T_access = 133 cycles, c = 123.
+    MlpProfiler p(1.0);
+    // Build counters consistent with that steady state: 1000 accesses,
+    // 100 misses, stall = 100 * 100 = 10000 cycles,
+    // cycles = accesses * T_access = 133000.
+    p.update(counters(133000, 200000, 1000, 100, 10000));
+    ASSERT_TRUE(p.profile().valid);
+    EXPECT_NEAR(p.profile().missPenalty, 100.0, 1e-9);
+    EXPECT_NEAR(p.profile().hitCyclesPerAccess, 123.0, 1e-9);
+    EXPECT_NEAR(p.profile().missRate, 0.1, 1e-12);
+    EXPECT_NEAR(p.profile().accessesPerCycle, 1000.0 / 133000.0, 1e-9);
+}
+
+TEST(MlpProfiler, IdleIntervalRetainsProfile)
+{
+    MlpProfiler p(1.0);
+    p.update(counters(1000, 1000, 100, 10, 500));
+    double m = p.profile().missPenalty;
+    p.update(counters(0, 0, 0, 0, 0)); // idle
+    EXPECT_DOUBLE_EQ(p.profile().missPenalty, m);
+    EXPECT_TRUE(p.profile().valid);
+}
+
+TEST(MlpProfiler, EwmaSmoothing)
+{
+    MlpProfiler p(0.5);
+    p.update(counters(10000, 10000, 100, 10, 1000)); // M = 100
+    p.update(counters(10000, 10000, 100, 10, 3000)); // M = 300
+    // EWMA(0.5): 0.5*100 + 0.5*300 = 200.
+    EXPECT_NEAR(p.profile().missPenalty, 200.0, 1e-9);
+}
+
+TEST(MlpProfiler, ZeroMissIntervalKeepsPenalty)
+{
+    MlpProfiler p(1.0);
+    p.update(counters(10000, 10000, 100, 10, 1500)); // M = 150
+    p.update(counters(10000, 10000, 100, 0, 0));     // all hits
+    EXPECT_NEAR(p.profile().missPenalty, 150.0, 1e-9);
+    EXPECT_NEAR(p.profile().missRate, 0.0, 1e-12);
+}
+
+TEST(MlpProfiler, ResetRestoresDefaults)
+{
+    MlpProfiler p(0.5, 250.0);
+    p.update(counters(1000, 1000, 10, 5, 400));
+    p.reset();
+    EXPECT_FALSE(p.profile().valid);
+    EXPECT_DOUBLE_EQ(p.profile().missPenalty, 250.0);
+}
+
+TEST(IntervalCounters, AddAccumulates)
+{
+    IntervalCounters a = counters(10, 20, 30, 4, 5);
+    IntervalCounters b = counters(1, 2, 3, 4, 5);
+    a.add(b);
+    EXPECT_EQ(a.cycles, 11u);
+    EXPECT_EQ(a.instructions, 22u);
+    EXPECT_EQ(a.llcAccesses, 33u);
+    EXPECT_EQ(a.llcMisses, 8u);
+    EXPECT_EQ(a.missStallCycles, 10u);
+    a.clear();
+    EXPECT_EQ(a.cycles, 0u);
+    EXPECT_EQ(a.llcAccesses, 0u);
+}
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Cross-validation: the UMON's sampled, way-granular miss-curve
+ * estimate against the trace analyzer's exact stack-distance curve
+ * on the same address stream. This is the accuracy claim the whole
+ * control stack rests on — UCP's Lookahead, Ubik's TransientModel,
+ * and the cost-benefit analysis all consume UMON curves as if they
+ * were the real thing (the paper leans on UCP's published UMON
+ * error bounds; here we measure ours directly).
+ *
+ * Parameterized across workload shapes; the tolerance reflects the
+ * two structural error sources the design accepts: set sampling
+ * noise and way-granularity smearing of sharp cliffs (DESIGN.md §7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "mon/umon.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+#include "common/rng.h"
+
+namespace ubik {
+namespace {
+
+// (label, hot lines, zipf theta, accesses)
+using Shape = std::tuple<std::string, std::uint64_t, double,
+                         std::uint64_t>;
+
+class UmonAccuracy : public ::testing::TestWithParam<Shape>
+{
+  protected:
+    /** Feed the same zipf stream to a Umon and into a TraceData. */
+    void
+    feed(std::uint64_t cache_lines)
+    {
+        const auto &[label, hot, theta, n] = GetParam();
+        umon_ = std::make_unique<Umon>(cache_lines);
+        trace_.requestWork.push_back(static_cast<double>(n));
+        trace_.requestStart.push_back(0);
+        Rng rng(2024);
+        ZipfDistribution zipf(hot, theta);
+        for (std::uint64_t i = 0; i < n; i++) {
+            Addr a = zipf(rng);
+            umon_->access(a);
+            trace_.accesses.push_back(a);
+        }
+    }
+
+    std::unique_ptr<Umon> umon_;
+    TraceData trace_;
+};
+
+TEST_P(UmonAccuracy, SampledCurveTracksExactCurve)
+{
+    const std::uint64_t cache_lines = 8192;
+    feed(cache_lines);
+
+    MissCurve est = umon_->missCurve(257);
+    TraceAnalysis an = analyzeTrace(trace_);
+
+    // Compare miss *ratios* at several sizes. missCurve() already
+    // scales sampled counts to the full access stream.
+    double total = static_cast<double>(trace_.accesses.size());
+    for (double frac : {0.25, 0.5, 0.75, 1.0}) {
+        std::uint64_t lines = static_cast<std::uint64_t>(
+            frac * static_cast<double>(cache_lines));
+        double est_ratio = est.missesAtLines(lines) / total;
+        EXPECT_NEAR(est_ratio, an.missRatioAtSize(lines), 0.06)
+            << "at " << lines << " lines";
+    }
+    // And the curve must get the *ordering* right everywhere: the
+    // estimate, like the truth, never increases with size.
+    for (std::size_t p = 1; p < est.points(); p++)
+        EXPECT_LE(est.values()[p], est.values()[p - 1] + 1e-9) << p;
+}
+
+TEST_P(UmonAccuracy, ProbeDepthAgreesWithCurveSemantics)
+{
+    // missesAtAllocation(probe, lines) must be consistent: a probe
+    // at depth d misses at any allocation smaller than d ways.
+    const std::uint64_t cache_lines = 8192;
+    feed(cache_lines);
+    std::uint64_t lines_per_way = cache_lines / umon_->ways();
+    UmonProbe probe;
+    probe.sampled = true;
+    probe.depth = 4;
+    EXPECT_TRUE(
+        umon_->missesAtAllocation(probe, 3 * lines_per_way));
+    EXPECT_FALSE(
+        umon_->missesAtAllocation(probe, 5 * lines_per_way));
+    probe.depth = 0; // UMON miss: misses at every allocation
+    EXPECT_TRUE(umon_->missesAtAllocation(probe, cache_lines));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UmonAccuracy,
+    ::testing::Values(
+        Shape{"skewed_small", 2048, 1.1, 200000},
+        Shape{"skewed_large", 16384, 0.9, 300000},
+        Shape{"mild_fit", 6144, 0.6, 300000},
+        Shape{"uniform_overflow", 20480, 0.05, 300000}),
+    [](const ::testing::TestParamInfo<Shape> &info) {
+        return std::get<0>(info.param);
+    });
+
+TEST(UmonAccuracy, ExactCurveFromPresetTraceWithinTolerance)
+{
+    // End-to-end: a real preset stream (masstree, hot+private mix)
+    // through both paths.
+    LcAppParams p = lc_presets::masstree().scaled(16.0);
+    TraceData trace = captureLcTrace(p, 150, /*seed=*/3);
+    Umon umon(8192);
+    for (Addr a : trace.accesses)
+        umon.access(a);
+    TraceAnalysis an = analyzeTrace(trace);
+    MissCurve est = umon.missCurve(257);
+    double total = static_cast<double>(trace.accesses.size());
+    for (double frac : {0.5, 1.0}) {
+        std::uint64_t lines =
+            static_cast<std::uint64_t>(frac * 8192);
+        double est_ratio = est.missesAtLines(lines) / total;
+        EXPECT_NEAR(est_ratio, an.missRatioAtSize(lines), 0.08)
+            << "at " << lines << " lines";
+    }
+}
+
+} // namespace
+} // namespace ubik

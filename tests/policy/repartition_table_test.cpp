@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the repartitioning table (Fig 8): fast incremental
+ * reallocation of batch space around the Lookahead anchor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "policy/repartition_table.h"
+
+namespace ubik {
+namespace {
+
+std::vector<LookaheadInput>
+twoApps()
+{
+    LookaheadInput a, b;
+    // App a: strong initial utility, then flat.
+    a.curve = {1000, 400, 200, 120, 100, 95, 92, 90, 89, 88, 88};
+    // App b: gentle continuous utility.
+    b.curve = {500, 450, 400, 350, 300, 250, 200, 150, 100, 50, 0};
+    return {a, b};
+}
+
+TEST(RepartitionTable, InvalidBeforeBuild)
+{
+    RepartitionTable t;
+    EXPECT_FALSE(t.valid());
+}
+
+TEST(RepartitionTable, AllocationSumsToBudget)
+{
+    RepartitionTable t;
+    t.build(twoApps(), 5, 10);
+    for (std::uint64_t b = 0; b <= 10; b++) {
+        auto a = t.allocationAt(b);
+        EXPECT_EQ(std::accumulate(a.begin(), a.end(),
+                                  std::uint64_t{0}),
+                  b);
+    }
+}
+
+TEST(RepartitionTable, AllocationsMonotoneInBudget)
+{
+    // Walking the table up can only grow each partition: that is what
+    // makes incremental resizing a pure walk (no shuffling).
+    RepartitionTable t;
+    t.build(twoApps(), 5, 10);
+    auto prev = t.allocationAt(0);
+    for (std::uint64_t b = 1; b <= 10; b++) {
+        auto cur = t.allocationAt(b);
+        for (std::size_t i = 0; i < cur.size(); i++)
+            EXPECT_GE(cur[i], prev[i]);
+        prev = cur;
+    }
+}
+
+TEST(RepartitionTable, MarginalPartMatchesAllocationDiff)
+{
+    RepartitionTable t;
+    t.build(twoApps(), 5, 10);
+    for (std::uint64_t b = 0; b < 10; b++) {
+        auto lo = t.allocationAt(b);
+        auto hi = t.allocationAt(b + 1);
+        std::size_t p = t.marginalPart(b);
+        EXPECT_EQ(hi[p], lo[p] + 1);
+    }
+}
+
+TEST(RepartitionTable, MissesNonIncreasing)
+{
+    RepartitionTable t;
+    t.build(twoApps(), 5, 10);
+    for (std::uint64_t b = 1; b <= 10; b++)
+        EXPECT_LE(t.missesAt(b), t.missesAt(b - 1) + 1e-9);
+}
+
+TEST(RepartitionTable, MissesMatchCurvesAtEndpoints)
+{
+    auto inputs = twoApps();
+    RepartitionTable t;
+    t.build(inputs, 5, 10);
+    EXPECT_DOUBLE_EQ(t.missesAt(0),
+                     inputs[0].curve[0] + inputs[1].curve[0]);
+}
+
+TEST(RepartitionTable, AnchorMatchesLookahead)
+{
+    auto inputs = twoApps();
+    RepartitionTable t;
+    const std::uint64_t anchor = 6;
+    t.build(inputs, anchor, 10);
+    auto expect = lookaheadAllocate(inputs, anchor);
+    auto got = t.allocationAt(anchor);
+    ASSERT_EQ(got.size(), expect.size());
+    for (std::size_t i = 0; i < got.size(); i++)
+        EXPECT_EQ(got[i], expect[i]);
+}
+
+TEST(RepartitionTable, GreedyGivesMarginalBucketToBestApp)
+{
+    // Above the anchor, each extra bucket goes to the larger marginal
+    // gain; with app b's linear 50/bucket vs app a's tiny tail, b
+    // must receive the buckets just above the anchor.
+    auto inputs = twoApps();
+    RepartitionTable t;
+    t.build(inputs, 4, 10);
+    auto a4 = t.allocationAt(4);
+    auto a5 = t.allocationAt(5);
+    EXPECT_EQ(a5[1], a4[1] + 1);
+}
+
+TEST(RepartitionTable, BudgetBeyondMaxClamps)
+{
+    RepartitionTable t;
+    t.build(twoApps(), 5, 10);
+    auto a = t.allocationAt(200);
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), std::uint64_t{0}),
+              10u);
+    EXPECT_DOUBLE_EQ(t.missesAt(200), t.missesAt(10));
+}
+
+TEST(RepartitionTable, SinglePartitionTakesEverything)
+{
+    LookaheadInput only;
+    only.curve = {100, 50, 25, 12, 6, 3, 1, 0, 0, 0, 0};
+    RepartitionTable t;
+    t.build({only}, 5, 10);
+    for (std::uint64_t b = 0; b <= 10; b++)
+        EXPECT_EQ(t.allocationAt(b)[0], b);
+}
+
+class RepartAnchors : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RepartAnchors, TableConsistentForAnyAnchor)
+{
+    RepartitionTable t;
+    t.build(twoApps(), GetParam(), 10);
+    // Full-budget allocation must use the whole table regardless of
+    // where the anchor sat.
+    auto a = t.allocationAt(10);
+    EXPECT_EQ(std::accumulate(a.begin(), a.end(), std::uint64_t{0}),
+              10u);
+    for (std::uint64_t b = 1; b <= 10; b++)
+        EXPECT_LE(t.missesAt(b), t.missesAt(b - 1) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Anchors, RepartAnchors,
+                         ::testing::Values(0u, 1u, 5u, 9u, 10u));
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the OOO and in-order core timing models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/core_model.h"
+
+namespace ubik {
+namespace {
+
+CoreModel
+makeOoo(double apki = 10, double ipc = 1.5, double mlp = 2.0)
+{
+    CoreParams p;
+    p.outOfOrder = true;
+    CoreTraits t{apki, ipc, mlp};
+    return CoreModel(p, t);
+}
+
+CoreModel
+makeInOrder(double apki = 10)
+{
+    CoreParams p;
+    p.outOfOrder = false;
+    CoreTraits t{apki, 1.5, 2.0};
+    return CoreModel(p, t);
+}
+
+TEST(CoreModel, GapFollowsIpc)
+{
+    auto m = makeOoo();
+    // 100 instructions at IPC 1.5 -> ~67 cycles.
+    EXPECT_EQ(m.gapCycles(100), 67u);
+    auto io = makeInOrder();
+    // In-order IPC is 1 regardless of the trait.
+    EXPECT_EQ(io.gapCycles(100), 100u);
+}
+
+TEST(CoreModel, OooHidesMostHitLatency)
+{
+    auto ooo = makeOoo();
+    auto io = makeInOrder();
+    EXPECT_LT(ooo.hitCycles(), io.hitCycles());
+    EXPECT_EQ(io.hitCycles(), 20u); // full L3 latency exposed
+}
+
+TEST(CoreModel, MlpDividesMissStall)
+{
+    auto mlp2 = makeOoo(10, 1.5, 2.0);
+    auto mlp4 = makeOoo(10, 1.5, 4.0);
+    // Full miss latency = 20 + 200 = 220.
+    EXPECT_EQ(mlp2.missCycles(), 110u);
+    EXPECT_EQ(mlp4.missCycles(), 55u);
+    auto io = makeInOrder();
+    EXPECT_EQ(io.missCycles(), 220u); // in-order exposes everything
+}
+
+TEST(CoreModel, InOrderSuffersMoreFromMisses)
+{
+    // The Fig 11 premise: the same miss hurts an in-order core more.
+    auto ooo = makeOoo();
+    auto io = makeInOrder();
+    EXPECT_GE(io.missCycles(), 2 * ooo.missCycles());
+}
+
+TEST(CoreModel, AccessAccumulatesCounters)
+{
+    auto m = makeOoo();
+    Cycles c1 = m.access(true, 100);  // hit
+    Cycles c2 = m.access(false, 100); // miss
+    EXPECT_GT(c2, c1);
+    const IntervalCounters &ic = m.interval();
+    EXPECT_EQ(ic.llcAccesses, 2u);
+    EXPECT_EQ(ic.llcMisses, 1u);
+    EXPECT_EQ(ic.instructions, 200u);
+    EXPECT_EQ(ic.cycles, c1 + c2);
+    EXPECT_EQ(ic.missStallCycles, m.missCycles());
+}
+
+TEST(CoreModel, ComputeAdvancesWithoutAccesses)
+{
+    auto m = makeOoo();
+    Cycles c = m.compute(3000);
+    EXPECT_EQ(c, 2000u); // 3000 / 1.5
+    EXPECT_EQ(m.interval().instructions, 3000u);
+    EXPECT_EQ(m.interval().llcAccesses, 0u);
+}
+
+TEST(CoreModel, TakeIntervalResets)
+{
+    auto m = makeOoo();
+    m.access(false, 100);
+    IntervalCounters ic = m.takeInterval();
+    EXPECT_EQ(ic.llcAccesses, 1u);
+    EXPECT_EQ(m.interval().llcAccesses, 0u);
+    EXPECT_EQ(m.interval().cycles, 0u);
+}
+
+TEST(CoreModel, ProfilerRecoversModelParameters)
+{
+    // Feed an MlpProfiler with this core's counters: the derived c
+    // and M must match the model's own constants (the closure Ubik's
+    // runtime depends on).
+    auto m = makeOoo(10, 1.5, 2.0);
+    for (int i = 0; i < 1000; i++)
+        m.access(i % 10 == 0, 100); // 10% hits, 90% misses
+    MlpProfiler prof(1.0);
+    prof.update(m.interval());
+    ASSERT_TRUE(prof.profile().valid);
+    EXPECT_NEAR(prof.profile().missPenalty,
+                static_cast<double>(m.missCycles()), 1.0);
+    // c = gap + hit latency (every access pays the gap; hits pay the
+    // exposed hit latency).
+    EXPECT_NEAR(prof.profile().hitCyclesPerAccess,
+                static_cast<double>(m.gapCycles(100)) +
+                    0.1 * static_cast<double>(m.hitCycles()),
+                2.0);
+}
+
+class TimingSweep
+    : public ::testing::TestWithParam<std::tuple<bool, double>>
+{
+};
+
+TEST_P(TimingSweep, AccessCostsAreConsistent)
+{
+    auto [ooo, mlp] = GetParam();
+    CoreParams p;
+    p.outOfOrder = ooo;
+    CoreTraits t{15.0, 1.5, mlp};
+    CoreModel m(p, t);
+    Cycles hit = m.access(true, 66.7);
+    Cycles miss = m.access(false, 66.7);
+    EXPECT_GT(miss, hit);
+    EXPECT_EQ(hit, m.gapCycles(66.7) + m.hitCycles());
+    EXPECT_EQ(miss, m.gapCycles(66.7) + m.missCycles());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cores, TimingSweep,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Values(1.0, 2.0, 4.0)));
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Tests for the statistics module: streaming moments, the latency
+ * recorder (including the paper's tail-mean metric, §3.2), and
+ * histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "stats/streaming_stats.h"
+
+namespace ubik {
+namespace {
+
+TEST(StreamingStats, Empty)
+{
+    StreamingStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.ci95(), 0.0);
+}
+
+TEST(StreamingStats, SingleValue)
+{
+    StreamingStats s;
+    s.add(7.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.0);
+    EXPECT_DOUBLE_EQ(s.min(), 7.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(StreamingStats, KnownMoments)
+{
+    StreamingStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic set is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(StreamingStats, NegativeValues)
+{
+    StreamingStats s;
+    s.add(-5.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(StreamingStats, MergeMatchesCombined)
+{
+    StreamingStats a, b, all;
+    for (int i = 0; i < 50; i++) {
+        double x = std::sin(i) * 10;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(StreamingStats, MergeWithEmpty)
+{
+    StreamingStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    StreamingStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StreamingStats, Ci95ShrinksWithSamples)
+{
+    StreamingStats small, large;
+    for (int i = 0; i < 10; i++)
+        small.add(i % 3);
+    for (int i = 0; i < 1000; i++)
+        large.add(i % 3);
+    EXPECT_GT(small.ci95(), large.ci95());
+}
+
+// --- LatencyRecorder ---
+
+TEST(LatencyRecorder, Empty)
+{
+    LatencyRecorder r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.tailMean(), 0.0);
+}
+
+TEST(LatencyRecorder, MeanAndPercentile)
+{
+    LatencyRecorder r;
+    for (Cycles c = 1; c <= 100; c++)
+        r.record(c);
+    EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+    // Nearest-rank: 95th percentile of 1..100 is 95.
+    EXPECT_DOUBLE_EQ(r.percentile(95.0), 95.0);
+    EXPECT_DOUBLE_EQ(r.percentile(50.0), 50.0);
+}
+
+TEST(LatencyRecorder, TailMeanIsMeanBeyondPercentile)
+{
+    LatencyRecorder r;
+    for (Cycles c = 1; c <= 100; c++)
+        r.record(c);
+    // Mean of {95..100} = 97.5 (tail includes the percentile point).
+    EXPECT_NEAR(r.tailMean(95.0), 97.5, 0.51);
+    // Whole distribution at pct ~ 0.
+    EXPECT_NEAR(r.tailMean(1.0), 50.5, 1.0);
+}
+
+TEST(LatencyRecorder, TailMeanResistsGaming)
+{
+    // The anti-gaming property (§3.2): degrading requests beyond the
+    // measured percentile *must* move the metric, unlike a plain
+    // percentile.
+    LatencyRecorder honest, gamed;
+    for (int i = 0; i < 100; i++) {
+        honest.record(100);
+        gamed.record(i < 97 ? 100 : 10000); // top 3% destroyed
+    }
+    EXPECT_DOUBLE_EQ(honest.percentile(95.0), gamed.percentile(95.0));
+    EXPECT_GT(gamed.tailMean(95.0), 2.0 * honest.tailMean(95.0));
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples)
+{
+    LatencyRecorder a, b;
+    a.record(10);
+    b.record(20);
+    b.record(30);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 20.0);
+}
+
+TEST(LatencyRecorder, RecordAfterQueryInvalidatesCache)
+{
+    LatencyRecorder r;
+    r.record(10);
+    EXPECT_DOUBLE_EQ(r.percentile(50.0), 10.0);
+    r.record(20);
+    r.record(30);
+    EXPECT_DOUBLE_EQ(r.percentile(100.0), 30.0);
+}
+
+TEST(LatencyRecorder, Cdf)
+{
+    LatencyRecorder r;
+    for (Cycles c : {10, 20, 30, 40})
+        r.record(c);
+    EXPECT_DOUBLE_EQ(r.cdf(5), 0.0);
+    EXPECT_DOUBLE_EQ(r.cdf(20), 0.5);
+    EXPECT_DOUBLE_EQ(r.cdf(45), 1.0);
+}
+
+TEST(LatencyRecorder, SortedCopy)
+{
+    LatencyRecorder r;
+    r.record(30);
+    r.record(10);
+    r.record(20);
+    auto s = r.sorted();
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s[0], 10u);
+    EXPECT_EQ(s[2], 30u);
+}
+
+TEST(LatencyRecorder, Clear)
+{
+    LatencyRecorder r;
+    r.record(1);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+}
+
+class TailMeanProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TailMeanProperty, TailMeanAtLeastPercentile)
+{
+    // The mean beyond a percentile can never be below the percentile
+    // value itself.
+    double pct = GetParam();
+    LatencyRecorder r;
+    std::uint64_t x = 88172645463325252ull; // xorshift64 stream
+    for (int i = 0; i < 5000; i++) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        r.record(x % 100000);
+    }
+    EXPECT_GE(r.tailMean(pct), r.percentile(pct));
+}
+
+INSTANTIATE_TEST_SUITE_P(Percentiles, TailMeanProperty,
+                         ::testing::Values(50.0, 90.0, 95.0, 99.0));
+
+// --- Histogram ---
+
+TEST(Histogram, BasicBinning)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.9);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_DOUBLE_EQ(h.binFrac(1), 0.5);
+}
+
+TEST(Histogram, Weights)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(1.0, 10);
+    EXPECT_EQ(h.total(), 10u);
+    EXPECT_EQ(h.binCount(1), 10u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(2.0, 12.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLo(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLo(4), 10.0);
+}
+
+TEST(Histogram, SummaryNonEmpty)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(0.1);
+    EXPECT_FALSE(h.summary().empty());
+}
+
+} // namespace
+} // namespace ubik

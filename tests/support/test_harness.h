@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Shared helpers for policy-level tests: a self-contained "bench
+ * harness" owning a Vantage scheme, UMONs, and MLP profilers, with
+ * helpers to feed synthetic access streams and drive reconfigurations
+ * without the full Cmp simulator.
+ */
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/vantage.h"
+#include "cache/zcache_array.h"
+#include "mon/mlp_profiler.h"
+#include "mon/umon.h"
+#include "policy/policy.h"
+#include "common/rng.h"
+
+namespace ubik {
+namespace test {
+
+/** Owns the monitoring hardware a PartitionPolicy needs. */
+struct PolicyHarness
+{
+    std::unique_ptr<Vantage> scheme;
+    std::vector<std::unique_ptr<Umon>> umons;
+    std::vector<std::unique_ptr<MlpProfiler>> profilers;
+    std::vector<AppMonitor> monitors;
+    Rng rng{12345};
+
+    PolicyHarness(std::uint64_t llc_lines, std::uint32_t num_apps,
+                  std::uint32_t umon_sets = 16)
+    {
+        scheme = std::make_unique<Vantage>(
+            std::make_unique<ZCacheArray>(llc_lines, 4, 52, 1),
+            num_apps + 1);
+        monitors.resize(num_apps);
+        for (std::uint32_t a = 0; a < num_apps; a++) {
+            umons.push_back(std::make_unique<Umon>(
+                llc_lines, 32, umon_sets, 1000 + a));
+            profilers.push_back(std::make_unique<MlpProfiler>());
+            monitors[a].umon = umons[a].get();
+            monitors[a].mlp = profilers[a].get();
+        }
+    }
+
+    /** Mark app `a` latency-critical with a target and deadline. */
+    void
+    makeLc(AppId a, std::uint64_t target_lines, Cycles deadline)
+    {
+        monitors[a].latencyCritical = true;
+        monitors[a].targetLines = target_lines;
+        monitors[a].deadline = deadline;
+    }
+
+    /**
+     * Feed `n` zipf-distributed accesses from app `a` over a working
+     * set of `ws` lines, updating the UMON and interval counters with
+     * a simple fixed-cost timing model.
+     */
+    void
+    feedZipf(AppId a, std::uint64_t ws, double theta, std::uint64_t n,
+             double hit_cost = 10, double miss_cost = 100)
+    {
+        ZipfDistribution zipf(ws, theta);
+        AccessContext ctx{a + 1, a, 0};
+        Addr base = static_cast<Addr>(a + 1) << 40;
+        for (std::uint64_t i = 0; i < n; i++) {
+            Addr addr = base + zipf(rng);
+            bool hit = scheme->access(addr, ctx).hit;
+            umons[a]->access(addr);
+            IntervalCounters &ic = monitors[a].interval;
+            ic.llcAccesses++;
+            ic.instructions += 100;
+            if (hit) {
+                ic.cycles += static_cast<Cycles>(50 + hit_cost);
+            } else {
+                ic.llcMisses++;
+                ic.cycles += static_cast<Cycles>(50 + miss_cost);
+                ic.missStallCycles += static_cast<Cycles>(miss_cost);
+            }
+        }
+    }
+
+    /**
+     * Feed a circular sequential scan over `ws` lines from app `a`:
+     * every access has stack distance ws, giving a perfect miss-curve
+     * cliff at ws (all-miss below, all-hit at or above).
+     */
+    void
+    feedScan(AppId a, std::uint64_t ws, std::uint64_t n)
+    {
+        AccessContext ctx{a + 1, a, 0};
+        Addr base = static_cast<Addr>(a + 1) << 40;
+        for (std::uint64_t i = 0; i < n; i++) {
+            Addr addr = base + i % ws;
+            bool hit = scheme->access(addr, ctx).hit;
+            umons[a]->access(addr);
+            IntervalCounters &ic = monitors[a].interval;
+            ic.llcAccesses++;
+            ic.instructions += 100;
+            ic.cycles += hit ? 60 : 150;
+            if (!hit) {
+                ic.llcMisses++;
+                ic.missStallCycles += 100;
+            }
+        }
+    }
+
+    /** Feed a pure streaming pattern (no reuse) from app `a`. */
+    void
+    feedStream(AppId a, std::uint64_t n)
+    {
+        AccessContext ctx{a + 1, a, 0};
+        static thread_local std::uint64_t cursor = 0;
+        Addr base = (static_cast<Addr>(a + 1) << 40) | (1ull << 36);
+        for (std::uint64_t i = 0; i < n; i++) {
+            Addr addr = base + cursor++;
+            scheme->access(addr, ctx);
+            umons[a]->access(addr);
+            IntervalCounters &ic = monitors[a].interval;
+            ic.llcAccesses++;
+            ic.llcMisses++;
+            ic.instructions += 100;
+            ic.cycles += 150;
+            ic.missStallCycles += 100;
+        }
+    }
+
+    /** Push interval counters into the profilers, as Cmp does before
+     *  each reconfiguration, then clear them. */
+    void
+    refreshProfiles(std::uint64_t requests_per_app = 10)
+    {
+        for (auto &mon : monitors) {
+            mon.mlp->update(mon.interval);
+            mon.intervalRequests = requests_per_app;
+        }
+    }
+
+    /** Reset UMON counters (keeping tags) and interval counters. */
+    void
+    endInterval()
+    {
+        for (auto &u : umons)
+            u->resetCounters();
+        for (auto &mon : monitors)
+            mon.interval.clear();
+    }
+};
+
+} // namespace test
+} // namespace ubik

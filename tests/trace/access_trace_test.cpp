@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the binary access-trace format: roundtrips (including a
+ * randomized property sweep), varint/delta edge cases, and corrupt-
+ * input rejection (bad magic, bad version, truncation, unknown
+ * records, footer mismatches).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/access_trace.h"
+#include "common/rng.h"
+
+namespace ubik {
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+/** Build a small trace in memory. */
+TraceData
+makeTrace(const std::vector<std::pair<double, std::vector<Addr>>> &reqs)
+{
+    TraceData td;
+    for (const auto &[work, addrs] : reqs) {
+        td.requestWork.push_back(work);
+        td.requestStart.push_back(td.accesses.size());
+        td.accesses.insert(td.accesses.end(), addrs.begin(),
+                           addrs.end());
+    }
+    return td;
+}
+
+void
+expectEqual(const TraceData &a, const TraceData &b)
+{
+    ASSERT_EQ(a.requestWork.size(), b.requestWork.size());
+    for (std::size_t i = 0; i < a.requestWork.size(); i++)
+        EXPECT_DOUBLE_EQ(a.requestWork[i], b.requestWork[i]) << i;
+    EXPECT_EQ(a.requestStart, b.requestStart);
+    EXPECT_EQ(a.accesses, b.accesses);
+}
+
+std::vector<std::uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in), {});
+}
+
+void
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+}
+
+TEST(AccessTrace, RoundtripsSimpleTrace)
+{
+    std::string path = tmpPath("simple.ubtr");
+    TraceData td = makeTrace({{1000.0, {1, 2, 3, 2, 1}},
+                              {2500.0, {100, 1, 100}}});
+    writeTrace(td, path);
+    expectEqual(td, readTrace(path));
+}
+
+TEST(AccessTrace, RoundtripsEmptyRequests)
+{
+    std::string path = tmpPath("empty_reqs.ubtr");
+    TraceData td = makeTrace({{10.0, {}}, {0.0, {42}}, {5.0, {}}});
+    writeTrace(td, path);
+    TraceData rd = readTrace(path);
+    expectEqual(td, rd);
+    EXPECT_EQ(rd.accessesOf(0), 0u);
+    EXPECT_EQ(rd.accessesOf(1), 1u);
+    EXPECT_EQ(rd.accessesOf(2), 0u);
+}
+
+TEST(AccessTrace, RoundtripsExtremeAddressDeltas)
+{
+    // Max positive/negative deltas stress zigzag + 10-byte varints.
+    std::string path = tmpPath("extreme.ubtr");
+    TraceData td = makeTrace(
+        {{1.0,
+          {0, ~0ull >> 1, 0, 1ull << 62, 1, (~0ull >> 1) - 1, 2}}});
+    writeTrace(td, path);
+    expectEqual(td, readTrace(path));
+}
+
+TEST(AccessTrace, RoundtripProperty)
+{
+    // Randomized traces of varying shape roundtrip bit-exactly.
+    Rng rng(12345);
+    for (int iter = 0; iter < 20; iter++) {
+        TraceData td;
+        std::uint64_t reqs = 1 + rng.next() % 50;
+        for (std::uint64_t r = 0; r < reqs; r++) {
+            td.requestWork.push_back(
+                static_cast<double>(rng.next() % 1000000));
+            td.requestStart.push_back(td.accesses.size());
+            std::uint64_t n = rng.next() % 200;
+            for (std::uint64_t i = 0; i < n; i++)
+                td.accesses.push_back(rng.next() >> (rng.next() % 40));
+        }
+        std::string path = tmpPath("prop.ubtr");
+        writeTrace(td, path);
+        expectEqual(td, readTrace(path));
+    }
+}
+
+TEST(AccessTrace, WriterCountsMatch)
+{
+    std::string path = tmpPath("counts.ubtr");
+    TraceWriter w(path);
+    w.beginRequest(100);
+    w.access(1);
+    w.access(2);
+    w.beginRequest(200);
+    w.access(3);
+    w.finish();
+    EXPECT_EQ(w.requests(), 2u);
+    EXPECT_EQ(w.accesses(), 3u);
+}
+
+TEST(AccessTrace, ApkiAndTotals)
+{
+    TraceData td = makeTrace({{1000.0, {1, 2}}, {1000.0, {3, 4}}});
+    EXPECT_DOUBLE_EQ(td.totalWork(), 2000.0);
+    EXPECT_DOUBLE_EQ(td.apki(), 4.0 / 2000.0 * 1000.0);
+}
+
+using AccessTraceDeath = ::testing::Test;
+
+TEST(AccessTraceDeath, RejectsMissingFile)
+{
+    EXPECT_DEATH(readTrace(tmpPath("nonexistent.ubtr")),
+                 "cannot open");
+}
+
+TEST(AccessTraceDeath, RejectsBadMagic)
+{
+    std::string path = tmpPath("badmagic.ubtr");
+    writeBytes(path, {'N', 'O', 'P', 'E', 1, 3, 0, 0});
+    EXPECT_DEATH(readTrace(path), "bad magic");
+}
+
+TEST(AccessTraceDeath, RejectsBadVersion)
+{
+    std::string path = tmpPath("badver.ubtr");
+    writeBytes(path, {'U', 'B', 'T', 'R', 99, 3, 0, 0});
+    EXPECT_DEATH(readTrace(path), "unsupported version");
+}
+
+TEST(AccessTraceDeath, RejectsTruncation)
+{
+    std::string path = tmpPath("trunc.ubtr");
+    TraceData td = makeTrace({{1000.0, {1, 2, 3, 4, 5}}});
+    writeTrace(td, path);
+    auto bytes = readBytes(path);
+    ASSERT_GT(bytes.size(), 4u);
+    bytes.resize(bytes.size() - 3); // chop the footer
+    writeBytes(path, bytes);
+    EXPECT_DEATH(readTrace(path), "truncated");
+}
+
+TEST(AccessTraceDeath, RejectsFooterMismatch)
+{
+    // A well-formed END record with wrong counts: splice a valid
+    // footer from a different trace.
+    std::string path = tmpPath("mismatch.ubtr");
+    writeBytes(path, {'U', 'B', 'T', 'R', 1,
+                      // REQUEST work=10.0 (f64 little-endian)
+                      0x01, 0, 0, 0, 0, 0, 0, 0x24, 0x40,
+                      0x02, 2,        // ACCESS delta=+1
+                      0x03, 1, 5});   // END: claims 5 accesses
+    EXPECT_DEATH(readTrace(path), "footer mismatch");
+}
+
+TEST(AccessTraceDeath, RejectsUnknownRecord)
+{
+    std::string path = tmpPath("unknown.ubtr");
+    writeBytes(path, {'U', 'B', 'T', 'R', 1, 0x7f});
+    EXPECT_DEATH(readTrace(path), "unknown record");
+}
+
+TEST(AccessTraceDeath, RejectsAccessBeforeRequest)
+{
+    std::string path = tmpPath("orphan.ubtr");
+    writeBytes(path, {'U', 'B', 'T', 'R', 1, 0x02, 2, 0x03, 0, 1});
+    EXPECT_DEATH(readTrace(path), "access before first request");
+}
+
+TEST(AccessTraceDeath, WriterRejectsOrphanAccess)
+{
+    std::string path = tmpPath("worphan.ubtr");
+    TraceWriter w(path);
+    EXPECT_DEATH(w.access(1), "before any beginRequest");
+}
+
+} // namespace
+} // namespace ubik

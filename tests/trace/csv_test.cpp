@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Tests for the CSV export module: quoting, the allocation-trace and
+ * latency-CDF dumps, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/cmp.h"
+#include "trace/csv.h"
+
+namespace ubik {
+namespace {
+
+std::string
+tmpPath(const char *name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+TEST(CsvWriter, WritesHeaderAndRows)
+{
+    std::string path = tmpPath("basic.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"a", "b"});
+        csv.row(std::vector<double>{1.5, 2.0});
+        csv.row(std::vector<double>{3.0, 4.25});
+        EXPECT_EQ(csv.rows(), 3u);
+        EXPECT_EQ(csv.path(), path);
+    }
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "a,b");
+    EXPECT_EQ(lines[1], "1.5,2");
+    EXPECT_EQ(lines[2], "3,4.25");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters)
+{
+    std::string path = tmpPath("quoted.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"plain", "with,comma",
+                                         "with\"quote"});
+    }
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "plain,\"with,comma\",\"with\"\"quote\"");
+}
+
+TEST(CsvWriter, UnwritablePathIsFatal)
+{
+    EXPECT_EXIT(CsvWriter("/nonexistent-dir/x.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(CsvTrace, AllocTraceRoundTrips)
+{
+    std::vector<AllocSample> trace;
+    for (int i = 1; i <= 3; i++) {
+        AllocSample s;
+        s.cycle = static_cast<Cycles>(i) * 1000;
+        s.targetLines = {0, 100u * static_cast<unsigned>(i), 200};
+        trace.push_back(s);
+    }
+    std::string path = tmpPath("alloc.csv");
+    writeAllocTrace(trace, path);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(lines[0], "cycle,ms,part0_lines,part1_lines,part2_lines");
+    // Row 2: cycle 2000, parts 0/200/200.
+    std::stringstream ss(lines[2]);
+    std::string cell;
+    std::getline(ss, cell, ',');
+    EXPECT_EQ(cell, "2000");
+    std::getline(ss, cell, ','); // ms
+    std::getline(ss, cell, ',');
+    EXPECT_EQ(cell, "0");
+    std::getline(ss, cell, ',');
+    EXPECT_EQ(cell, "200");
+}
+
+TEST(CsvTrace, EmptyAllocTraceWritesHeaderOnly)
+{
+    std::string path = tmpPath("alloc_empty.csv");
+    writeAllocTrace({}, path);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], "cycle,ms");
+}
+
+TEST(CsvTrace, LatencyCdfIsMonotone)
+{
+    LatencyRecorder rec;
+    for (Cycles c = 1000; c <= 100000; c += 1000)
+        rec.record(c);
+    std::string path = tmpPath("cdf.csv");
+    writeLatencyCdf(rec, path, 50);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 51u);
+    double prev_lat = -1, prev_cdf = -1;
+    for (std::size_t i = 1; i < lines.size(); i++) {
+        std::stringstream ss(lines[i]);
+        std::string cell;
+        std::getline(ss, cell, ',');
+        double lat = std::stod(cell);
+        std::getline(ss, cell, ','); // ms
+        std::getline(ss, cell, ',');
+        double cdf = std::stod(cell);
+        EXPECT_GE(lat, prev_lat);
+        EXPECT_GT(cdf, prev_cdf);
+        prev_lat = lat;
+        prev_cdf = cdf;
+    }
+    EXPECT_DOUBLE_EQ(prev_cdf, 1.0);
+}
+
+TEST(CsvTrace, CdfPointsCappedBySampleCount)
+{
+    LatencyRecorder rec;
+    rec.record(10);
+    rec.record(20);
+    rec.record(30);
+    std::string path = tmpPath("cdf_small.csv");
+    writeLatencyCdf(rec, path, 500);
+    auto lines = readLines(path);
+    EXPECT_EQ(lines.size(), 4u); // header + 3 samples
+}
+
+TEST(CsvTrace, EmptyRecorderWritesHeaderOnly)
+{
+    std::string path = tmpPath("cdf_empty.csv");
+    writeLatencyCdf(LatencyRecorder{}, path);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 1u);
+}
+
+TEST(WriteMissCurve, DumpsPointsWithRatio)
+{
+    std::string path = tmpPath("curve.csv");
+    MissCurve curve({100.0, 60.0, 30.0, 10.0}, 256);
+    writeMissCurve(curve, path, 200.0);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[0], "lines,mb,misses,miss_ratio");
+    EXPECT_EQ(lines[1], "0,0,100,0.5");
+    // Third point: 512 lines = 512*64/1e6 MB, 30 misses, ratio 0.15.
+    EXPECT_EQ(lines[3], "512,0.032768,30,0.15");
+}
+
+TEST(WriteMissCurve, OmitsRatioWithoutDenominator)
+{
+    std::string path = tmpPath("curve_noratio.csv");
+    MissCurve curve({10.0, 5.0}, 64);
+    writeMissCurve(curve, path);
+    auto lines = readLines(path);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "lines,mb,misses");
+    EXPECT_EQ(lines[2], "64,0.004096,5");
+}
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Parameterized property sweeps over the whole trace pipeline, one
+ * instantiation per LC preset x requests shape: capture -> serialize
+ * -> parse -> analyze -> advise must preserve the stream exactly,
+ * keep the analysis internally consistent, and produce sizing
+ * reports with the Fig 7 feasibility structure.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "core/advisor.h"
+#include "trace/access_trace.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+
+namespace ubik {
+namespace {
+
+using Param = std::tuple<std::string, std::uint64_t>; // preset, reqs
+
+class TracePipeline : public ::testing::TestWithParam<Param>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        const auto &[name, requests] = GetParam();
+        params_ = lc_presets::byName(name).scaled(16.0);
+        trace_ = captureLcTrace(params_, requests, /*seed=*/31);
+    }
+
+    LcAppParams params_;
+    TraceData trace_;
+};
+
+TEST_P(TracePipeline, SerializationRoundtripsExactly)
+{
+    std::string path = testing::TempDir() + "/pipeline.ubtr";
+    writeTrace(trace_, path);
+    TraceData rd = readTrace(path);
+    EXPECT_EQ(rd.accesses, trace_.accesses);
+    EXPECT_EQ(rd.requestStart, trace_.requestStart);
+    ASSERT_EQ(rd.requestWork.size(), trace_.requestWork.size());
+    for (std::size_t i = 0; i < rd.requestWork.size(); i++)
+        EXPECT_DOUBLE_EQ(rd.requestWork[i], trace_.requestWork[i]);
+}
+
+TEST_P(TracePipeline, AnalysisAccountsForEveryAccess)
+{
+    TraceAnalysis an = analyzeTrace(trace_);
+    EXPECT_EQ(an.accesses, trace_.accesses.size());
+    // Cold misses + all histogram entries == accesses.
+    std::uint64_t hits = 0;
+    for (std::uint64_t h : an.distanceHistogram)
+        hits += h;
+    EXPECT_EQ(an.coldMisses + hits, an.accesses);
+    // hitsByRequestsAgo covers exactly the hits.
+    std::uint64_t by_age = 0;
+    for (std::uint64_t h : an.hitsByRequestsAgo)
+        by_age += h;
+    EXPECT_EQ(by_age, hits);
+    // Misses at footprint size = cold misses only; at 0 = everything.
+    EXPECT_EQ(an.missesAtSize(an.footprintLines + 1), an.coldMisses);
+    EXPECT_EQ(an.missesAtSize(0), an.accesses);
+}
+
+TEST_P(TracePipeline, MissCurveMonotoneAndAnchored)
+{
+    TraceAnalysis an = analyzeTrace(trace_);
+    MissCurve mc = an.missCurve(129, an.footprintLines + 64);
+    for (std::size_t p = 1; p < mc.points(); p++)
+        EXPECT_LE(mc.values()[p], mc.values()[p - 1]) << p;
+    EXPECT_DOUBLE_EQ(mc.values().front(),
+                     static_cast<double>(an.accesses));
+    EXPECT_DOUBLE_EQ(mc.values().back(),
+                     static_cast<double>(an.coldMisses));
+}
+
+TEST_P(TracePipeline, AdvisorReportHasFigSevenStructure)
+{
+    TraceAnalysis an = analyzeTrace(trace_);
+    std::uint64_t target =
+        std::max<std::uint64_t>(64, an.footprintLines / 2);
+
+    CoreProfile prof;
+    prof.missPenalty = 100;
+    prof.hitCyclesPerAccess = 20;
+    prof.missRate = an.missRatioAtSize(target);
+    prof.accessesPerCycle = 0.03;
+    prof.valid = true;
+
+    AdvisorInput in;
+    in.curve = an.missCurve(129, target * 2);
+    in.intervalAccesses = an.accesses;
+    in.profile = prof;
+    in.targetLines = target;
+    in.deadline = static_cast<Cycles>(5e-3 * kClockHz);
+    in.boostCap = target * 2;
+    AdvisorReport rep = advise(in);
+
+    // Structure: strictly decreasing idle sizes, infeasible only at
+    // the end, best == deepest feasible.
+    ASSERT_FALSE(rep.options.empty());
+    for (std::size_t i = 0; i + 1 < rep.options.size(); i++) {
+        EXPECT_GT(rep.options[i].sIdle, rep.options[i + 1].sIdle);
+        EXPECT_TRUE(rep.options[i].feasible);
+    }
+    if (rep.canDownsize) {
+        EXPECT_LT(rep.best.sIdle, target);
+        const SizingOption *deepest = nullptr;
+        for (const auto &o : rep.options)
+            if (o.feasible)
+                deepest = &o;
+        ASSERT_NE(deepest, nullptr);
+        EXPECT_EQ(rep.best.sIdle, deepest->sIdle);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPresets, TracePipeline,
+    ::testing::Values(Param{"xapian", 60}, Param{"masstree", 120},
+                      Param{"moses", 40}, Param{"shore", 80},
+                      Param{"specjbb", 120}),
+    [](const ::testing::TestParamInfo<Param> &info) {
+        return std::get<0>(info.param) + "_" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the LC app models: preset signatures (Fig 2's APKI
+ * labels), address-stream structure, scaling, and instance isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/lc_app.h"
+
+namespace ubik {
+namespace {
+
+TEST(LcPresets, AllFivePaperApps)
+{
+    auto all = lc_presets::all();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "xapian");
+    EXPECT_EQ(all[1].name, "masstree");
+    EXPECT_EQ(all[2].name, "moses");
+    EXPECT_EQ(all[3].name, "shore");
+    EXPECT_EQ(all[4].name, "specjbb");
+}
+
+TEST(LcPresets, ApkiMatchesFig2Labels)
+{
+    EXPECT_DOUBLE_EQ(lc_presets::xapian().apki, 0.1);
+    EXPECT_DOUBLE_EQ(lc_presets::masstree().apki, 8.8);
+    EXPECT_DOUBLE_EQ(lc_presets::moses().apki, 25.8);
+    EXPECT_DOUBLE_EQ(lc_presets::shore().apki, 5.7);
+    EXPECT_DOUBLE_EQ(lc_presets::specjbb().apki, 16.3);
+}
+
+TEST(LcPresets, RequestCountsMatchTable1)
+{
+    EXPECT_EQ(lc_presets::xapian().requests, 6000u);
+    EXPECT_EQ(lc_presets::masstree().requests, 9000u);
+    EXPECT_EQ(lc_presets::moses().requests, 900u);
+    EXPECT_EQ(lc_presets::shore().requests, 7500u);
+    EXPECT_EQ(lc_presets::specjbb().requests, 37500u);
+}
+
+TEST(LcPresets, ByNameRoundTrips)
+{
+    for (const auto &p : lc_presets::all())
+        EXPECT_EQ(lc_presets::byName(p.name).name, p.name);
+}
+
+TEST(LcPresetsDeath, ByNameUnknownIsFatal)
+{
+    EXPECT_EXIT(lc_presets::byName("nginx"),
+                ::testing::ExitedWithCode(1), "unknown LC workload");
+}
+
+TEST(LcPresets, MosesHotSetLargerThanTwoMegabytes)
+{
+    // §7.1: moses has no reuse at 2MB but significant reuse at ~4MB.
+    EXPECT_GT(lc_presets::moses().hotLines, bytesToLines(2_MB));
+    EXPECT_LE(lc_presets::moses().hotLines, bytesToLines(6_MB));
+    EXPECT_LT(lc_presets::moses().hotTheta, 0.5); // near-uniform
+}
+
+TEST(LcAppParams, ScaledShrinksEverything)
+{
+    LcAppParams p = lc_presets::shore();
+    LcAppParams s = p.scaled(8.0);
+    EXPECT_EQ(s.hotLines, p.hotLines / 8);
+    EXPECT_EQ(s.reqLines, p.reqLines / 8);
+    EXPECT_NEAR(s.work.mean(), p.work.mean() / 8.0, 1.0);
+    EXPECT_DOUBLE_EQ(s.apki, p.apki); // intensity is scale-free
+}
+
+TEST(LcApp, RequestAccessesFollowApki)
+{
+    LcApp app(lc_presets::masstree(), 0, Rng(1));
+    // 8.8 APKI: 1e6 instructions -> 8800 accesses.
+    EXPECT_EQ(app.requestAccesses(1e6), 8800u);
+    EXPECT_EQ(app.requestAccesses(0), 0u);
+}
+
+TEST(LcApp, XapianRequestsAreComputeBound)
+{
+    LcAppParams p = lc_presets::xapian();
+    LcApp app(p, 0, Rng(2));
+    // At 0.1 APKI even long requests perform few LLC accesses.
+    double work = app.startRequest(1);
+    EXPECT_LT(app.requestAccesses(work), work / 1000.0);
+}
+
+TEST(LcApp, AddressesSplitBetweenHotAndRequestRegions)
+{
+    LcAppParams p = lc_presets::specjbb();
+    LcApp app(p, 0, Rng(3));
+    app.startRequest(1);
+    std::uint64_t hot = 0, req = 0;
+    const Addr hot_base = 1ull << 40;
+    const Addr req_base = hot_base + (1ull << 36);
+    for (int i = 0; i < 50000; i++) {
+        Addr a = app.nextAddr();
+        if (a >= req_base)
+            req++;
+        else if (a >= hot_base && a < hot_base + p.hotLines)
+            hot++;
+        else
+            FAIL() << "address outside both regions";
+    }
+    EXPECT_NEAR(hot / 50000.0, p.hotFrac, 0.02);
+    EXPECT_NEAR(req / 50000.0, 1.0 - p.hotFrac, 0.02);
+}
+
+TEST(LcApp, CrossRequestReuseOnlyInHotSet)
+{
+    // Request-private addresses from different requests must not
+    // collide (that is what makes them inertia-free).
+    LcAppParams p = lc_presets::masstree();
+    p.hotFrac = 0.0; // only private accesses, for a clean check
+    LcApp app(p, 0, Rng(4));
+    std::set<Addr> req1, req2;
+    app.startRequest(1);
+    for (std::uint64_t i = 0; i < p.reqLines / 2; i++)
+        req1.insert(app.nextAddr());
+    app.startRequest(2);
+    for (std::uint64_t i = 0; i < p.reqLines / 2; i++)
+        req2.insert(app.nextAddr());
+    for (Addr a : req2)
+        EXPECT_FALSE(req1.count(a));
+}
+
+TEST(LcApp, InstancesAreDisjoint)
+{
+    LcAppParams p = lc_presets::shore();
+    LcApp a(p, 0, Rng(5)), b(p, 1, Rng(5));
+    a.startRequest(1);
+    b.startRequest(1);
+    std::set<Addr> seen;
+    for (int i = 0; i < 20000; i++)
+        seen.insert(a.nextAddr());
+    for (int i = 0; i < 20000; i++)
+        EXPECT_FALSE(seen.count(b.nextAddr()));
+}
+
+TEST(LcApp, HotAccessesAreSkewed)
+{
+    LcAppParams p = lc_presets::masstree();
+    LcApp app(p, 0, Rng(6));
+    app.startRequest(1);
+    // Count accesses to the top 1% of the hot set.
+    std::uint64_t head = 0, total = 0;
+    const Addr hot_base = 1ull << 40;
+    const Addr req_base = hot_base + (1ull << 36);
+    for (int i = 0; i < 100000; i++) {
+        Addr a = app.nextAddr();
+        if (a >= req_base)
+            continue;
+        total++;
+        if (a - hot_base < p.hotLines / 100)
+            head++;
+    }
+    // theta = 1.1: the top 1% draws far more than 1% of accesses.
+    EXPECT_GT(static_cast<double>(head) / static_cast<double>(total),
+              0.10);
+}
+
+class PresetSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PresetSweep, ParametersInternallyConsistent)
+{
+    LcAppParams p = lc_presets::all()[GetParam()];
+    EXPECT_GT(p.apki, 0.0);
+    EXPECT_GT(p.work.mean(), 1000.0);
+    EXPECT_GT(p.hotLines, 0u);
+    EXPECT_GT(p.hotFrac, 0.0);
+    EXPECT_LE(p.hotFrac, 1.0);
+    EXPECT_GE(p.mlp, 1.0);
+    EXPECT_GT(p.baseIpc, 0.0);
+    EXPECT_GT(p.requests, 0u);
+    // Sampling a request never crashes and respects the work floor.
+    LcApp app(p, 2, Rng(9));
+    for (ReqId r = 1; r < 50; r++) {
+        double w = app.startRequest(r);
+        EXPECT_GE(w, 1000.0);
+        for (int i = 0; i < 100; i++)
+            app.nextAddr();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetSweep,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace ubik

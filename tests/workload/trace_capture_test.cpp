@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Tests for trace capture from the synthetic generators: determinism,
+ * shape consistency with the generating parameters, and the expected
+ * reuse signatures of the paper presets (the captured traces must
+ * carry the same inertia signal the simulator sees, Fig 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+
+namespace ubik {
+namespace {
+
+TEST(TraceCapture, LcCaptureIsDeterministic)
+{
+    LcAppParams p = lc_presets::masstree().scaled(16.0);
+    TraceData a = captureLcTrace(p, 50, /*seed=*/3);
+    TraceData b = captureLcTrace(p, 50, /*seed=*/3);
+    EXPECT_EQ(a.accesses, b.accesses);
+    EXPECT_EQ(a.requestWork, b.requestWork);
+}
+
+TEST(TraceCapture, SeedsProduceDifferentStreams)
+{
+    LcAppParams p = lc_presets::masstree().scaled(16.0);
+    TraceData a = captureLcTrace(p, 50, /*seed=*/3);
+    TraceData b = captureLcTrace(p, 50, /*seed=*/4);
+    EXPECT_NE(a.accesses, b.accesses);
+}
+
+TEST(TraceCapture, InstancesUseDisjointAddressSpaces)
+{
+    LcAppParams p = lc_presets::masstree().scaled(16.0);
+    TraceData a = captureLcTrace(p, 20, 3, /*instance=*/0);
+    TraceData b = captureLcTrace(p, 20, 3, /*instance=*/1);
+    for (Addr addr : b.accesses)
+        EXPECT_EQ(std::count(a.accesses.begin(), a.accesses.end(),
+                             addr),
+                  0)
+            << "instance address spaces overlap";
+}
+
+TEST(TraceCapture, RequestCountAndApkiMatchParams)
+{
+    LcAppParams p = lc_presets::specjbb().scaled(16.0);
+    TraceData td = captureLcTrace(p, 100, 5);
+    EXPECT_EQ(td.requests(), 100u);
+    // APKI within 20% of the preset's calibration.
+    EXPECT_NEAR(td.apki(), p.apki, p.apki * 0.2);
+}
+
+TEST(TraceCapture, HotPresetShowsCrossRequestReuse)
+{
+    LcAppParams p = lc_presets::shore().scaled(16.0);
+    TraceData td = captureLcTrace(p, 150, 9);
+    TraceAnalysis an = analyzeTrace(td);
+    EXPECT_GT(an.crossRequestReuse, 0.3);
+}
+
+TEST(TraceCapture, BatchStreamingHasNoReuse)
+{
+    BatchAppParams p =
+        batch_presets::make(BatchClass::Streaming).scaled(16.0);
+    TraceData td = captureBatchTrace(p, 20000, 11);
+    TraceAnalysis an = analyzeTrace(td);
+    // A pure stream never revisits a line within the capture window.
+    EXPECT_DOUBLE_EQ(an.crossRequestReuse, 0.0);
+    EXPECT_EQ(an.missesAtSize(p.wsLines), an.accesses);
+}
+
+TEST(TraceCapture, BatchFriendlyHasConcaveMissCurve)
+{
+    BatchAppParams p =
+        batch_presets::make(BatchClass::Friendly).scaled(16.0);
+    TraceData td = captureBatchTrace(p, 50000, 12);
+    TraceAnalysis an = analyzeTrace(td);
+    std::uint64_t quarter = an.missesAtSize(p.wsLines / 4);
+    std::uint64_t half = an.missesAtSize(p.wsLines / 2);
+    std::uint64_t full = an.missesAtSize(p.wsLines);
+    EXPECT_GT(quarter, half);
+    EXPECT_GE(half, full);
+}
+
+TEST(TraceCapture, BatchTraceHasOnePseudoRequest)
+{
+    BatchAppParams p =
+        batch_presets::make(BatchClass::Insensitive).scaled(16.0);
+    TraceData td = captureBatchTrace(p, 1000, 13);
+    EXPECT_EQ(td.requests(), 1u);
+    EXPECT_EQ(td.accessesOf(0), 1000u);
+    EXPECT_NEAR(td.apki(), p.apki, p.apki * 0.05);
+}
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * ubik_cli: run one latency-critical/batch mix under one management
+ * scheme and print the paper's metrics — the front door for anyone
+ * exploring the library without writing C++.
+ *
+ *   # Ubik with 5% slack on a masstree mix at high load
+ *   ubik_cli --lc masstree --load 0.6 --policy Ubik --slack 0.05
+ *
+ *   # The UCP baseline on the same mix, dumping plot data
+ *   ubik_cli --lc masstree --load 0.6 --policy UCP \
+ *            --csv-prefix /tmp/ucp_run
+ *
+ * Machine scale follows the UBIK_* environment variables (see
+ * src/sim/experiment.h); flags cover the per-run knobs.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "sim/mix_runner.h"
+#include "trace/csv.h"
+#include "workload/mix.h"
+#include "common/cli.h"
+#include "common/log.h"
+
+using namespace ubik;
+
+namespace {
+
+PolicyKind
+parsePolicy(const std::string &s)
+{
+    if (s == "LRU")
+        return PolicyKind::Lru;
+    if (s == "UCP")
+        return PolicyKind::Ucp;
+    if (s == "StaticLC")
+        return PolicyKind::StaticLc;
+    if (s == "OnOff")
+        return PolicyKind::OnOff;
+    if (s == "Ubik")
+        return PolicyKind::Ubik;
+    if (s == "Feedback")
+        return PolicyKind::Feedback;
+    fatal("unknown policy '%s' (LRU, UCP, StaticLC, OnOff, Ubik, "
+          "Feedback)",
+          s.c_str());
+}
+
+ArrayKind
+parseArray(const std::string &s)
+{
+    if (s == "Z4/52" || s == "zcache")
+        return ArrayKind::Z4_52;
+    if (s == "SA16")
+        return ArrayKind::SA16;
+    if (s == "SA64")
+        return ArrayKind::SA64;
+    fatal("unknown array '%s' (zcache, SA16, SA64)", s.c_str());
+}
+
+SchemeKind
+parseScheme(const std::string &s, PolicyKind policy)
+{
+    if (s == "auto")
+        return policy == PolicyKind::Lru ? SchemeKind::SharedLru
+                                         : SchemeKind::Vantage;
+    if (s == "Vantage")
+        return SchemeKind::Vantage;
+    if (s == "WayPart")
+        return SchemeKind::WayPart;
+    if (s == "LRU")
+        return SchemeKind::SharedLru;
+    fatal("unknown scheme '%s' (auto, Vantage, WayPart, LRU)",
+          s.c_str());
+}
+
+MemKind
+parseMem(const std::string &s)
+{
+    if (s == "fixed")
+        return MemKind::Fixed;
+    if (s == "contended")
+        return MemKind::Contended;
+    if (s == "partitioned")
+        return MemKind::Partitioned;
+    fatal("unknown memory model '%s' (fixed, contended, partitioned)",
+          s.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("ubik_cli",
+            "run one LC/batch mix under one cache-management scheme");
+    auto &lc = cli.flag("lc", "masstree",
+                        "LC workload: xapian, masstree, moses, shore, "
+                        "specjbb");
+    auto &load = cli.flag("load", 0.2, "offered load (0, 1)");
+    auto &policy_name =
+        cli.flag("policy", "Ubik",
+                 "LRU, UCP, StaticLC, OnOff, Ubik, Feedback");
+    auto &scheme_name =
+        cli.flag("scheme", "auto", "auto, Vantage, WayPart, LRU");
+    auto &array_name = cli.flag("array", "zcache",
+                                "zcache, SA16, SA64");
+    auto &slack = cli.flag("slack", 0.05, "Ubik tail-latency slack");
+    auto &batch = cli.flag("batch", "fts",
+                           "three batch classes, e.g. fts, nnn, sss "
+                           "(n/f/t/s)");
+    auto &mem = cli.flag("mem", "fixed",
+                         "memory model: fixed, contended, partitioned");
+    auto &seed = cli.flag("seed", static_cast<std::int64_t>(1),
+                          "random seed");
+    auto &inorder = cli.flag("inorder", false,
+                             "use in-order cores instead of OOO");
+    auto &csv_prefix =
+        cli.flag("csv-prefix", "",
+                 "write <prefix>_alloc.csv and <prefix>_cdf.csv");
+    auto &verbose = cli.flag("verbose", false, "chatty progress output");
+    cli.parse(argc, argv);
+
+    setVerbose(verbose.value);
+    if (load.value <= 0 || load.value >= 1)
+        fatal("--load must be in (0, 1)");
+    if (batch.value.size() != 3)
+        fatal("--batch needs exactly three class codes (n/f/t/s)");
+
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    cfg.printHeader("ubik_cli");
+
+    SchemeUnderTest sut;
+    sut.policy = parsePolicy(policy_name.value);
+    sut.scheme = parseScheme(scheme_name.value, sut.policy);
+    sut.array = parseArray(array_name.value);
+    sut.slack = slack.value;
+    sut.mem = parseMem(mem.value);
+    sut.label = policy_name.value;
+
+    MixSpec spec;
+    spec.lc.app = lc_presets::byName(lc.value);
+    spec.lc.load = load.value;
+    for (std::size_t i = 0; i < 3; i++)
+        spec.batch.apps[i] = batch_presets::make(
+            batchClassFromCode(batch.value[i]),
+            static_cast<std::uint32_t>(i));
+    spec.name = lc.value + "/" + batch.value;
+
+    MixRunner runner(cfg, !inorder.value);
+    std::printf("running mix %s under %s (load %.2f, seed %lld)...\n",
+                spec.name.c_str(), sut.label.c_str(), load.value,
+                static_cast<long long>(seed.value));
+    MixRunResult res = runner.runMix(
+        spec, sut, static_cast<std::uint64_t>(seed.value));
+
+    std::printf("\nResults (vs private-LLC baseline):\n");
+    std::printf("  LC tail mean (95p):      %.3f ms\n",
+                cyclesToMs(static_cast<Cycles>(res.lcTailMean)));
+    std::printf("  tail degradation:        %.3fx\n",
+                res.tailDegradation);
+    std::printf("  mean degradation:        %.3fx\n",
+                res.meanDegradation);
+    std::printf("  batch weighted speedup:  %.3fx\n",
+                res.weightedSpeedup);
+    for (std::size_t i = 0; i < res.batchSpeedups.size(); i++)
+        std::printf("    batch[%zu] (%c): %.3fx\n", i,
+                    batch.value[i], res.batchSpeedups[i]);
+
+    if (!csv_prefix.value.empty()) {
+        // Re-run with tracing on to capture plot data.
+        const LcBaseline &base = runner.lcBaseline(
+            spec.lc.app, spec.lc.load,
+            static_cast<std::uint64_t>(seed.value));
+        CmpConfig cc = cfg.baseCmpConfig(!inorder.value);
+        cc.scheme = sut.scheme;
+        cc.array = sut.array;
+        cc.policy = sut.policy;
+        cc.slack = sut.slack;
+        cc.traceAllocations = true;
+        std::vector<LcAppSpec> lcs(3);
+        for (auto &s : lcs) {
+            s.params = spec.lc.app.scaled(cfg.scale);
+            s.meanInterarrival = base.meanInterarrival;
+            s.roiRequests = cfg.roiRequests;
+            s.warmupRequests = cfg.warmupRequests;
+            s.targetLines = cfg.privateLines();
+            s.deadline = base.p95;
+        }
+        std::vector<BatchAppSpec> bs(3);
+        for (int i = 0; i < 3; i++)
+            bs[static_cast<size_t>(i)].params =
+                spec.batch.apps[static_cast<size_t>(i)].scaled(
+                    cfg.scale);
+        Cmp cmp(cc, lcs, bs,
+                static_cast<std::uint64_t>(seed.value) * 15485863 + 17);
+        cmp.run();
+        LatencyRecorder merged;
+        for (std::uint32_t i = 0; i < 3; i++)
+            merged.merge(cmp.lcResult(i).latencies);
+        writeAllocTrace(cmp.allocTrace(),
+                        csv_prefix.value + "_alloc.csv");
+        writeLatencyCdf(merged, csv_prefix.value + "_cdf.csv");
+        std::printf("\nwrote %s_alloc.csv and %s_cdf.csv\n",
+                    csv_prefix.value.c_str(), csv_prefix.value.c_str());
+    }
+    return 0;
+}

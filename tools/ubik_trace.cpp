@@ -1,0 +1,188 @@
+/**
+ * @file
+ * ubik_trace: record, inspect, and advise on LLC access traces — the
+ * command-line face of the trace subsystem (trace/access_trace.h).
+ *
+ *   # capture 1000 requests of the shore preset to a trace file
+ *   ubik_trace --record shore --requests 1000 --out shore.ubtr
+ *
+ *   # capture a batch-class stream instead (n/f/t/s)
+ *   ubik_trace --record batch:f --accesses 200000 --out friendly.ubtr
+ *
+ *   # exact miss curve + inertia statistics
+ *   ubik_trace --analyze shore.ubtr
+ *
+ *   # strict-Ubik sizing options at a target size and deadline
+ *   ubik_trace --analyze shore.ubtr --target 32768 --deadline-us 1000
+ *
+ * With no --record/--analyze it prints usage. Real workloads enter
+ * the pipeline by converting their own traces to the documented
+ * binary format.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/advisor.h"
+#include "trace/access_trace.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+#include "trace/csv.h"
+#include "common/cli.h"
+#include "common/log.h"
+
+using namespace ubik;
+
+namespace {
+
+void
+doRecord(const std::string &what, std::uint64_t requests,
+         std::uint64_t accesses, std::uint64_t seed, double scale,
+         const std::string &out)
+{
+    if (out.empty())
+        fatal("--record needs --out <file>");
+    TraceData td;
+    if (what.rfind("batch:", 0) == 0) {
+        if (what.size() != 7)
+            fatal("--record batch:<c> with c one of n/f/t/s");
+        BatchAppParams p =
+            batch_presets::make(batchClassFromCode(what[6]))
+                .scaled(scale);
+        td = captureBatchTrace(p, accesses, seed);
+        std::printf("captured %llu accesses of batch class '%c'\n",
+                    static_cast<unsigned long long>(td.accesses.size()),
+                    what[6]);
+    } else {
+        LcAppParams p = lc_presets::byName(what).scaled(scale);
+        td = captureLcTrace(p, requests, seed);
+        std::printf("captured %llu requests / %llu accesses of %s\n",
+                    static_cast<unsigned long long>(td.requests()),
+                    static_cast<unsigned long long>(td.accesses.size()),
+                    what.c_str());
+    }
+    writeTrace(td, out);
+    std::printf("wrote %s\n", out.c_str());
+}
+
+void
+doAnalyze(const std::string &path, std::uint64_t target,
+          double deadline_us, const std::string &csv)
+{
+    TraceData trace = readTrace(path);
+    TraceAnalysis an = analyzeTrace(trace);
+    std::printf("[%s] %llu requests, %llu accesses, APKI %.1f\n",
+                path.c_str(),
+                static_cast<unsigned long long>(trace.requests()),
+                static_cast<unsigned long long>(an.accesses),
+                trace.apki());
+    std::printf("footprint %llu lines (%.2f MB), cold misses %llu, "
+                "cross-request reuse %.0f%%\n",
+                static_cast<unsigned long long>(an.footprintLines),
+                static_cast<double>(an.footprintLines) * 64 / 1e6,
+                static_cast<unsigned long long>(an.coldMisses),
+                an.crossRequestReuse * 100);
+
+    if (target == 0)
+        target = an.footprintLines / 2 > 0 ? an.footprintLines / 2 : 1;
+    std::printf("\nexact LRU miss ratio by size (target %llu lines):\n",
+                static_cast<unsigned long long>(target));
+    for (double frac : {0.25, 0.5, 0.75, 1.0, 1.5, 2.0})
+        std::printf("  %5.2fx: %5.1f%%\n", frac,
+                    an.missRatioAtSize(static_cast<std::uint64_t>(
+                        frac * static_cast<double>(target))) *
+                        100);
+
+    if (!csv.empty()) {
+        writeMissCurve(an.missCurve(257, target * 4), csv,
+                       static_cast<double>(an.accesses));
+        std::printf("\nwrote miss curve to %s\n", csv.c_str());
+    }
+
+    if (deadline_us <= 0)
+        return;
+    CoreProfile prof;
+    prof.missPenalty = 100;
+    prof.hitCyclesPerAccess = 20;
+    prof.missRate = an.missRatioAtSize(target);
+    prof.accessesPerCycle = 0.03;
+    prof.valid = true;
+
+    AdvisorInput in;
+    in.curve = an.missCurve(257, target * 4);
+    in.intervalAccesses = an.accesses;
+    in.profile = prof;
+    in.targetLines = target;
+    in.deadline = static_cast<Cycles>(deadline_us * 1e-6 * kClockHz);
+    in.boostCap = target * 4;
+    AdvisorReport rep = advise(in);
+
+    std::printf("\nstrict-Ubik options at deadline %.0f us:\n",
+                deadline_us);
+    std::printf("%10s %10s %8s %14s\n", "s_idle", "s_boost", "freed",
+                "transient(us)");
+    for (const SizingOption &o : rep.options) {
+        if (o.feasible)
+            std::printf("%10llu %10llu %7.0f%% %14.1f\n",
+                        static_cast<unsigned long long>(o.sIdle),
+                        static_cast<unsigned long long>(o.sBoost),
+                        100.0 * o.freedLines / target,
+                        o.transientCycles / kClockHz * 1e6);
+        else
+            std::printf("%10llu %10s %7.0f%%     infeasible\n",
+                        static_cast<unsigned long long>(o.sIdle), "--",
+                        100.0 * o.freedLines / target);
+    }
+    std::printf("best: s_idle=%llu (%.0f%% freed while idle)\n",
+                static_cast<unsigned long long>(rep.best.sIdle),
+                100.0 * rep.best.freedLines / target);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("ubik_trace",
+            "record, inspect, and advise on LLC access traces");
+    auto &record =
+        cli.flag("record", "",
+                 "capture a preset: xapian/masstree/moses/shore/"
+                 "specjbb or batch:<n|f|t|s>");
+    auto &requests = cli.flag("requests",
+                              static_cast<std::int64_t>(500),
+                              "requests to capture (LC presets)");
+    auto &accesses = cli.flag("accesses",
+                              static_cast<std::int64_t>(100000),
+                              "accesses to capture (batch classes)");
+    auto &scale = cli.flag("scale", 8.0, "preset scale divisor");
+    auto &seed = cli.flag("seed", static_cast<std::int64_t>(1),
+                          "random seed");
+    auto &out = cli.flag("out", "", "output trace file (--record)");
+    auto &analyze = cli.flag("analyze", "", "trace file to analyze");
+    auto &target = cli.flag("target", static_cast<std::int64_t>(0),
+                            "target partition size, lines "
+                            "(0 = half the footprint)");
+    auto &deadline_us =
+        cli.flag("deadline-us", 0.0,
+                 "QoS deadline in us (enables the advisor table)");
+    auto &csv = cli.flag("csv", "",
+                         "write the exact miss curve to this CSV");
+    cli.parse(argc, argv);
+
+    if (!record.value.empty()) {
+        doRecord(record.value, static_cast<std::uint64_t>(requests.value),
+                 static_cast<std::uint64_t>(accesses.value),
+                 static_cast<std::uint64_t>(seed.value), scale.value,
+                 out.value);
+        return 0;
+    }
+    if (!analyze.value.empty()) {
+        doAnalyze(analyze.value,
+                  static_cast<std::uint64_t>(target.value),
+                  deadline_us.value, csv.value);
+        return 0;
+    }
+    cli.printHelp();
+    return 1;
+}
