@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/job_pool.h"
 #include "stats/streaming_stats.h"
 #include "workload/batch_app.h"
 #include "workload/lc_app.h"
@@ -84,20 +85,35 @@ main()
     auto lc_presets_all = lc_presets::all();
     const double load = 0.6; // high load stresses QoS hardest
 
-    // Calibrations are per-app, shared across machine sizes.
-    std::vector<Calibration> cals;
-    std::vector<double> batchAloneIpc;
-    for (const auto &p : lc_presets_all)
-        cals.push_back(calibrate(cfg, p, load, 1000));
-    for (std::uint32_t i = 0; i < 4; i++) {
-        CmpConfig cc = cfg.baseCmpConfig(true);
-        cc.privateLlc = true;
-        BatchAppSpec b;
-        b.params = batch_presets::make(static_cast<BatchClass>(i), i)
-                       .scaled(cfg.scale);
-        Cmp cmp(cc, {}, {b}, 2000 + i);
-        cmp.run();
-        batchAloneIpc.push_back(cmp.batchResult(0).ipc());
+    // Calibrations are per-app, shared across machine sizes, and
+    // independent of each other: run all nine through the experiment
+    // engine's pool (UBIK_JOBS workers). Each job writes only its own
+    // slot and derives randomness from its own fixed seed, so results
+    // match the sequential order for any worker count.
+    std::vector<Calibration> cals(lc_presets_all.size());
+    std::vector<double> batchAloneIpc(4);
+    {
+        JobPool pool(JobPool::resolveWorkers(cfg.jobs));
+        pool.run(cals.size() + batchAloneIpc.size(),
+                 [&](std::size_t i) {
+                     if (i < cals.size()) {
+                         cals[i] = calibrate(cfg, lc_presets_all[i],
+                                             load, 1000);
+                         return;
+                     }
+                     std::uint32_t b =
+                         static_cast<std::uint32_t>(i - cals.size());
+                     CmpConfig cc = cfg.baseCmpConfig(true);
+                     cc.privateLlc = true;
+                     BatchAppSpec spec;
+                     spec.params =
+                         batch_presets::make(
+                             static_cast<BatchClass>(b), b)
+                             .scaled(cfg.scale);
+                     Cmp cmp(cc, {}, {spec}, 2000 + b);
+                     cmp.run();
+                     batchAloneIpc[b] = cmp.batchResult(0).ipc();
+                 });
     }
 
     std::printf("\n[scale] Ubik (5%% slack) at %.0f%% load, half LC / "

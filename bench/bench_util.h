@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "sim/mix_runner.h"
+#include "sim/parallel_sweep.h"
 #include "stats/streaming_stats.h"
 #include "trace/csv.h"
 #include "workload/mix.h"
@@ -37,6 +38,52 @@ struct SweepResult
 };
 
 /**
+ * Run `schemes` over an explicit mix list through the parallel
+ * experiment engine (UBIK_JOBS workers; results are bit-identical to
+ * the sequential order for any worker count). Used directly by
+ * benches whose question is only posed on specific colocations (e.g.
+ * cache-hungry batch mixes for the Ubik-knob ablations).
+ */
+inline std::vector<SweepResult>
+runCustomSweep(const ExperimentConfig &cfg,
+               const std::vector<SchemeUnderTest> &schemes,
+               const std::vector<MixSpec> &mixes, bool ooo = true)
+{
+    MixRunner runner(cfg, ooo);
+    ParallelSweep engine(runner, cfg.jobs);
+    std::vector<SweepJob> jobs =
+        buildSweepJobs(schemes, mixes, cfg.seeds);
+    // Live progress from inside the engine (the per-scheme summary
+    // lines below only appear once the whole sweep is done).
+    std::size_t step = std::max<std::size_t>(1, jobs.size() / 20);
+    std::vector<MixRunResult> results =
+        engine.run(jobs, [&](std::size_t done, std::size_t total) {
+            if (done % step == 0 || done == total)
+                std::fprintf(stderr, "  [sweep] %zu/%zu runs done\n",
+                             done, total);
+        });
+
+    // Regroup the flat job-ordered results per scheme (jobs are
+    // scheme-major, so each scheme's block is contiguous).
+    std::vector<SweepResult> out;
+    std::size_t next = 0;
+    for (const auto &sut : schemes) {
+        SweepResult sr;
+        sr.label = sut.label;
+        for (const auto &mix : mixes)
+            for (std::uint32_t s = 0; s < cfg.seeds; s++) {
+                sr.runs.push_back(results[next++]);
+                sr.mixNames.push_back(mix.name);
+            }
+        std::fprintf(stderr, "  [%s] %zu runs done (%u workers)\n",
+                     sr.label.c_str(), sr.runs.size(),
+                     engine.workers());
+        out.push_back(std::move(sr));
+    }
+    return out;
+}
+
+/**
  * Run `schemes` over the standard mix matrix.
  *
  * @param cfg experiment scale/requests/seeds configuration
@@ -51,54 +98,13 @@ runSweep(const ExperimentConfig &cfg,
          std::uint32_t mixes_per_lc, bool ooo = true,
          double only_load = -1.0)
 {
-    MixRunner runner(cfg, ooo);
-    auto mixes = buildMixes(2, /*seed=*/1, mixes_per_lc);
-    std::vector<SweepResult> out;
-    for (const auto &sut : schemes) {
-        SweepResult sr;
-        sr.label = sut.label;
-        for (const auto &mix : mixes) {
-            if (only_load >= 0 &&
-                std::abs(mix.lc.load - only_load) > 1e-9)
-                continue;
-            for (std::uint32_t s = 0; s < cfg.seeds; s++) {
-                sr.runs.push_back(runner.runMix(mix, sut, s + 1));
-                sr.mixNames.push_back(mix.name);
-            }
-        }
-        std::fprintf(stderr, "  [%s] %zu runs done\n",
-                     sr.label.c_str(), sr.runs.size());
-        out.push_back(std::move(sr));
+    std::vector<MixSpec> mixes;
+    for (auto &mix : buildMixes(2, /*seed=*/1, mixes_per_lc)) {
+        if (only_load >= 0 && std::abs(mix.lc.load - only_load) > 1e-9)
+            continue;
+        mixes.push_back(std::move(mix));
     }
-    return out;
-}
-
-/**
- * Run `schemes` over an explicit mix list (for benches whose question
- * is only posed on specific colocations, e.g. cache-hungry batch
- * mixes for the Ubik-knob ablations).
- */
-inline std::vector<SweepResult>
-runCustomSweep(const ExperimentConfig &cfg,
-               const std::vector<SchemeUnderTest> &schemes,
-               const std::vector<MixSpec> &mixes, bool ooo = true)
-{
-    MixRunner runner(cfg, ooo);
-    std::vector<SweepResult> out;
-    for (const auto &sut : schemes) {
-        SweepResult sr;
-        sr.label = sut.label;
-        for (const auto &mix : mixes) {
-            for (std::uint32_t s = 0; s < cfg.seeds; s++) {
-                sr.runs.push_back(runner.runMix(mix, sut, s + 1));
-                sr.mixNames.push_back(mix.name);
-            }
-        }
-        std::fprintf(stderr, "  [%s] %zu runs done\n",
-                     sr.label.c_str(), sr.runs.size());
-        out.push_back(std::move(sr));
-    }
-    return out;
+    return runCustomSweep(cfg, schemes, mixes, ooo);
 }
 
 /**

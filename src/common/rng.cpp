@@ -52,6 +52,20 @@ Rng::fork()
     return Rng(next());
 }
 
+Rng
+Rng::jobStream(std::uint64_t base_seed, std::uint64_t job_index)
+{
+    // Hash base_seed and job_index through separate splitmix64 chains
+    // before combining: adjacent job indices land in unrelated regions
+    // of the seed space, and the Rng constructor expands the combined
+    // seed through four more splitmix64 rounds. Weyl offsets keep the
+    // two chains from colliding when base_seed == job_index.
+    std::uint64_t a = base_seed;
+    std::uint64_t b = job_index + 0x632be59bd9b4e019ull;
+    std::uint64_t seed = splitmix64(a) ^ rotl(splitmix64(b), 31);
+    return Rng(seed);
+}
+
 double
 Rng::uniform()
 {

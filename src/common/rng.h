@@ -31,6 +31,18 @@ class Rng
     /** Fork an independent stream (seeded from this one). */
     Rng fork();
 
+    /**
+     * Deterministic, independent stream for job `job_index` under
+     * `base_seed`. Unlike fork(), this never consumes shared state:
+     * the stream is a pure function of (base_seed, job_index), so a
+     * parallel experiment engine can hand every job its own RNG and
+     * produce results that are bit-identical to the sequential order
+     * no matter how jobs land on worker threads. Re-running a single
+     * job index reproduces its exact sequence.
+     */
+    static Rng jobStream(std::uint64_t base_seed,
+                         std::uint64_t job_index);
+
     /** Uniform double in [0, 1). */
     double uniform();
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/log.h"
+#include "sim/job_pool.h"
 
 namespace ubik {
 
@@ -50,8 +51,28 @@ ExperimentConfig::fromEnv()
     cfg.seeds = static_cast<std::uint32_t>(envU64("UBIK_SEEDS", 1));
     cfg.mixesPerLc =
         static_cast<std::uint32_t>(envU64("UBIK_MIXES", 3));
+    // Signed parse with full validation ("-1" must not wrap into
+    // ~2^32 worker threads); this is the one place UBIK_JOBS warns.
+    const char *jobs_env = std::getenv("UBIK_JOBS");
+    if (jobs_env && *jobs_env) {
+        char *end = nullptr;
+        long v = std::strtol(jobs_env, &end, 10);
+        if (v < 0 || end == jobs_env || *end) {
+            warn("UBIK_JOBS='%s' is not a non-negative integer; "
+                 "using all cores",
+                 jobs_env);
+            v = 0;
+        }
+        cfg.jobs = static_cast<std::uint32_t>(v);
+    }
     cfg.verbose = envU64("UBIK_VERBOSE", 0) != 0;
     return cfg;
+}
+
+unsigned
+ExperimentConfig::effectiveJobs() const
+{
+    return JobPool::resolveWorkers(jobs);
 }
 
 std::uint64_t
@@ -103,10 +124,11 @@ ExperimentConfig::printHeader(const char *bench_name) const
                     (1 << 20),
                 cyclesToMs(reconfigInterval()));
     std::printf("# experiment: %llu ROI + %llu warmup requests/LC "
-                "instance, %u seed(s), %u batch mixes per LC config\n",
+                "instance, %u seed(s), %u batch mixes per LC config, "
+                "%u engine worker(s)\n",
                 static_cast<unsigned long long>(roiRequests),
                 static_cast<unsigned long long>(warmupRequests),
-                seeds, mixesPerLc);
+                seeds, mixesPerLc, effectiveJobs());
     std::printf("# paper-scale run: UBIK_SCALE=1 UBIK_REQUESTS=6000 "
                 "UBIK_MIXES=40 UBIK_SEEDS=8\n");
 }

@@ -15,6 +15,8 @@
  *   UBIK_WARMUP   warmup requests per LC instance (default 25)
  *   UBIK_SEEDS    repeated runs per configuration (default 1)
  *   UBIK_MIXES    batch mixes per LC config (default 3; 40 = paper)
+ *   UBIK_JOBS     experiment-engine workers (default 0 = all cores;
+ *                 1 = legacy sequential path)
  *   UBIK_VERBOSE  1 = chatty progress output
  *   UBIK_CSV_DIR  directory for per-run CSV exports (sweep benches)
  */
@@ -36,7 +38,15 @@ struct ExperimentConfig
     std::uint64_t warmupRequests = 25;
     std::uint32_t seeds = 1;
     std::uint32_t mixesPerLc = 3;
+
+    /** Experiment-engine worker threads: 0 = all cores, 1 = the
+     *  legacy sequential path (see sim/job_pool.h). */
+    std::uint32_t jobs = 0;
+
     bool verbose = false;
+
+    /** `jobs` with 0 resolved to the actual core count. */
+    unsigned effectiveJobs() const;
 
     /** Shared LLC capacity, lines (paper: 12MB). */
     std::uint64_t llcLines() const;

@@ -1,0 +1,161 @@
+#include "sim/job_pool.h"
+
+#include <cstdlib>
+
+#include "common/log.h"
+
+namespace ubik {
+
+unsigned
+JobPool::resolveWorkers(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    const char *env = std::getenv("UBIK_JOBS");
+    if (env && *env) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+        // 0 means "all cores"; invalid input falls through silently —
+        // ExperimentConfig::fromEnv is the place that warns (callers
+        // may resolve several times per run).
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+JobPool::JobPool(unsigned workers)
+    : workers_(workers > 0 ? workers
+                           : (std::thread::hardware_concurrency() > 0
+                                  ? std::thread::hardware_concurrency()
+                                  : 1))
+{
+    // The submitting thread is worker number one; spawn the rest.
+    if (workers_ < 2)
+        return;
+    threads_.reserve(workers_ - 1);
+    for (unsigned i = 0; i < workers_ - 1; i++)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+JobPool::~JobPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+JobPool::runJobs()
+{
+    // Claim-and-execute until the batch cursor runs out. Each index
+    // is claimed by exactly one thread via fetch_add.
+    for (;;) {
+        std::size_t n = jobCount_.load(std::memory_order_acquire);
+        std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n)
+            return;
+        const auto *fn = jobs_.load(std::memory_order_acquire);
+        std::exception_ptr err;
+        try {
+            (*fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        completed_++;
+        if (err && !firstError_)
+            firstError_ = err;
+        if (completed_ == jobCount_.load(std::memory_order_relaxed))
+            doneCv_.notify_all();
+    }
+}
+
+void
+JobPool::workerLoop()
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            workCv_.wait(lock, [&] {
+                return shutdown_ || (jobs_.load() && batchId_ != seen);
+            });
+            if (shutdown_)
+                return;
+            seen = batchId_;
+            active_++;
+        }
+        runJobs();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            active_--;
+            if (active_ == 0)
+                doneCv_.notify_all();
+        }
+    }
+}
+
+void
+JobPool::run(std::size_t n, const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    if (threads_.empty()) {
+        // Sequential path: UBIK_JOBS=1 behaves exactly like the
+        // pre-engine loops (same thread, same order, no pool state) —
+        // including the exception contract: the remaining jobs still
+        // run and the first error is rethrown after the batch drains.
+        std::exception_ptr first;
+        for (std::size_t i = 0; i < n; i++) {
+            try {
+                fn(i);
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ubik_assert(!jobs_.load()); // no nested/concurrent run()
+        completed_ = 0;
+        firstError_ = nullptr;
+        batchId_++;
+        cursor_.store(0, std::memory_order_relaxed);
+        jobCount_.store(n, std::memory_order_release);
+        jobs_.store(&fn, std::memory_order_release);
+    }
+    workCv_.notify_all();
+
+    // The submitting thread works too, so a W-worker pool really runs
+    // the batch on W threads.
+    runJobs();
+
+    std::exception_ptr err;
+    {
+        // Wait for every job AND for all pool threads to leave
+        // runJobs(): a straggler's final (empty) cursor claim must not
+        // land in the next batch's index space.
+        std::unique_lock<std::mutex> lock(mu_);
+        doneCv_.wait(lock, [&] {
+            return completed_ == jobCount_.load() && active_ == 0;
+        });
+        err = firstError_;
+        jobs_.store(nullptr, std::memory_order_release);
+        jobCount_.store(0, std::memory_order_release);
+    }
+    if (err)
+        std::rethrow_exception(err);
+}
+
+} // namespace ubik

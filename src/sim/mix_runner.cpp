@@ -23,21 +23,64 @@ paperSchemes(double ubik_slack)
     };
 }
 
+void
+SchemeUnderTest::applyTo(CmpConfig &cc) const
+{
+    cc.scheme = scheme;
+    cc.array = array;
+    cc.policy = policy;
+    cc.slack = slack;
+    cc.ubik = ubik;
+    if (reconfigScale != 1.0)
+        cc.reconfigInterval = static_cast<Cycles>(
+            static_cast<double>(cc.reconfigInterval) * reconfigScale);
+    cc.mem = mem;
+    cc.memParams = memParams;
+    if (mem == MemKind::Partitioned) {
+        // LC instances bypass the regulator (strict priority); batch
+        // apps are throttled to the unreserved remainder.
+        cc.memShares.assign(6, 0.0);
+        for (int i = 3; i < 6; i++)
+            cc.memShares[i] = (1.0 - lcMemShare) / 3.0;
+    }
+}
+
 MixRunner::MixRunner(ExperimentConfig cfg, bool out_of_order)
     : cfg_(cfg), ooo_(out_of_order)
 {
+}
+
+std::string
+MixRunner::lcKey(const LcAppParams &params, double load,
+                 std::uint64_t seed) const
+{
+    return params.name + "/" + std::to_string(load) + "/" +
+           std::to_string(seed) + (ooo_ ? "/ooo" : "/io");
+}
+
+std::string
+MixRunner::batchKey(const BatchAppParams &params,
+                    std::uint64_t seed) const
+{
+    return params.name + "/" + std::to_string(seed) +
+           (ooo_ ? "/ooo" : "/io");
 }
 
 const LcBaseline &
 MixRunner::lcBaseline(const LcAppParams &params, double load,
                       std::uint64_t seed)
 {
-    std::string key = params.name + "/" + std::to_string(load) + "/" +
-                      std::to_string(seed) + (ooo_ ? "/ooo" : "/io");
-    auto it = lcCache_.find(key);
-    if (it != lcCache_.end())
-        return it->second;
+    std::string key = lcKey(params, load, seed);
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        auto it = lcCache_.find(key);
+        if (it != lcCache_.end())
+            return it->second;
+    }
 
+    // Compute outside the lock: the calibration is deterministic in
+    // (params, load, seed), so two racing threads produce identical
+    // values and whichever emplace wins is correct for both.
     LcAppParams scaled = params.scaled(cfg_.scale);
     LcBaseline base;
 
@@ -78,6 +121,7 @@ MixRunner::lcBaseline(const LcAppParams &params, double load,
         base.p95 = static_cast<Cycles>(lat.percentile(95.0));
     }
 
+    std::lock_guard<std::mutex> lock(cacheMu_);
     auto [ins, ok] = lcCache_.emplace(key, base);
     (void)ok;
     return ins->second;
@@ -87,11 +131,13 @@ double
 MixRunner::batchAloneIpc(const BatchAppParams &params,
                          std::uint64_t seed)
 {
-    std::string key = params.name + "/" + std::to_string(seed) +
-                      (ooo_ ? "/ooo" : "/io");
-    auto it = batchCache_.find(key);
-    if (it != batchCache_.end())
-        return it->second;
+    std::string key = batchKey(params, seed);
+    {
+        std::lock_guard<std::mutex> lock(cacheMu_);
+        auto it = batchCache_.find(key);
+        if (it != batchCache_.end())
+            return it->second;
+    }
 
     CmpConfig cc = cfg_.baseCmpConfig(ooo_);
     cc.privateLlc = true;
@@ -101,7 +147,8 @@ MixRunner::batchAloneIpc(const BatchAppParams &params,
     cmp.run();
     double ipc = cmp.batchResult(0).ipc();
     ubik_assert(ipc > 0);
-    batchCache_[key] = ipc;
+    std::lock_guard<std::mutex> lock(cacheMu_);
+    batchCache_.emplace(key, ipc);
     return ipc;
 }
 
@@ -133,24 +180,7 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
     LcAppParams scaled = spec.lc.app.scaled(cfg_.scale);
 
     CmpConfig cc = cfg_.baseCmpConfig(ooo_);
-    cc.scheme = sut.scheme;
-    cc.array = sut.array;
-    cc.policy = sut.policy;
-    cc.slack = sut.slack;
-    cc.ubik = sut.ubik;
-    if (sut.reconfigScale != 1.0)
-        cc.reconfigInterval = static_cast<Cycles>(
-            static_cast<double>(cc.reconfigInterval) *
-            sut.reconfigScale);
-    cc.mem = sut.mem;
-    cc.memParams = sut.memParams;
-    if (sut.mem == MemKind::Partitioned) {
-        // LC instances bypass the regulator (strict priority); batch
-        // apps are throttled to the unreserved remainder.
-        cc.memShares.assign(6, 0.0);
-        for (int i = 3; i < 6; i++)
-            cc.memShares[i] = (1.0 - sut.lcMemShare) / 3.0;
-    }
+    sut.applyTo(cc);
 
     std::vector<LcAppSpec> lc(3);
     for (auto &s : lc) {

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -89,12 +90,24 @@ struct SchemeUnderTest
      *  instances. The LC apps run unregulated (strict priority); the
      *  batch apps are regulated to split the remainder equally. */
     double lcMemShare = 0.5;
+
+    /** Apply every scheme knob to a CmpConfig. The single source of
+     *  truth for mix runs and traced re-runs alike. */
+    void applyTo(CmpConfig &cc) const;
 };
 
 /** The paper's five evaluated schemes (Fig 9/10/11), Ubik last. */
 std::vector<SchemeUnderTest> paperSchemes(double ubik_slack = 0.05);
 
-/** Runs calibrations, baselines, and mixes, caching baselines. */
+/**
+ * Runs calibrations, baselines, and mixes, caching baselines.
+ *
+ * Thread-safe: one MixRunner may serve concurrent runMix/baseline
+ * calls from a JobPool. Baselines are pure functions of (params,
+ * load, seed), so a racing recompute produces the identical value and
+ * the first insert wins; cached references stay valid because map
+ * inserts never move existing nodes.
+ */
 class MixRunner
 {
   public:
@@ -123,9 +136,19 @@ class MixRunner
                              std::uint64_t seed,
                              LatencyRecorder *service_times = nullptr);
 
+    /** Cache key of an LC baseline — ParallelSweep deduplicates its
+     *  prewarm jobs with the exact key the cache uses. */
+    std::string lcKey(const LcAppParams &params, double load,
+                      std::uint64_t seed) const;
+
+    /** Cache key of a batch alone-IPC baseline. */
+    std::string batchKey(const BatchAppParams &params,
+                         std::uint64_t seed) const;
+
   private:
     ExperimentConfig cfg_;
     bool ooo_;
+    std::mutex cacheMu_; ///< guards the two baseline caches
     std::map<std::string, LcBaseline> lcCache_;
     std::map<std::string, double> batchCache_;
 };

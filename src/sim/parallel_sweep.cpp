@@ -1,0 +1,101 @@
+#include "sim/parallel_sweep.h"
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <utility>
+
+namespace ubik {
+
+ParallelSweep::ParallelSweep(MixRunner &runner, unsigned workers)
+    : runner_(runner), pool_(JobPool::resolveWorkers(workers))
+{
+}
+
+void
+ParallelSweep::prewarmBaselines(const std::vector<SweepJob> &jobs)
+{
+    // Deduplicate by the exact cache keys the mix phase will request
+    // (MixRunner::lcKey/batchKey, so the dedup cannot drift from the
+    // cache); values are what lcBaseline / batchAloneIpc need to
+    // recompute them.
+    struct LcKey
+    {
+        LcAppParams params;
+        double load;
+        std::uint64_t seed;
+    };
+    struct BatchKey
+    {
+        BatchAppParams params;
+        std::uint64_t seed;
+    };
+    std::map<std::string, LcKey> lcKeys;
+    std::map<std::string, BatchKey> batchKeys;
+    for (const auto &job : jobs) {
+        lcKeys.emplace(
+            runner_.lcKey(job.mix.lc.app, job.mix.lc.load, job.seed),
+            LcKey{job.mix.lc.app, job.mix.lc.load, job.seed});
+        for (const auto &b : job.mix.batch.apps)
+            batchKeys.emplace(runner_.batchKey(b, job.seed),
+                              BatchKey{b, job.seed});
+    }
+
+    std::vector<LcKey> lc;
+    for (auto &kv : lcKeys)
+        lc.push_back(std::move(kv.second));
+    std::vector<BatchKey> batch;
+    for (auto &kv : batchKeys)
+        batch.push_back(std::move(kv.second));
+
+    // One parallel phase over all baselines; LC baselines are the
+    // expensive ones (two calibration runs each), so schedule them
+    // first.
+    pool_.run(lc.size() + batch.size(), [&](std::size_t i) {
+        if (i < lc.size())
+            runner_.lcBaseline(lc[i].params, lc[i].load, lc[i].seed);
+        else
+            runner_.batchAloneIpc(batch[i - lc.size()].params,
+                                  batch[i - lc.size()].seed);
+    });
+}
+
+std::vector<MixRunResult>
+ParallelSweep::run(
+    const std::vector<SweepJob> &jobs,
+    const std::function<void(std::size_t, std::size_t)> &on_done)
+{
+    prewarmBaselines(jobs);
+    std::vector<MixRunResult> results(jobs.size());
+    std::atomic<std::size_t> done{0};
+    pool_.run(jobs.size(), [&](std::size_t i) {
+        results[i] =
+            runner_.runMix(jobs[i].mix, jobs[i].sut, jobs[i].seed);
+        if (on_done)
+            on_done(done.fetch_add(1) + 1, jobs.size());
+    });
+    return results;
+}
+
+std::vector<SweepJob>
+buildSweepJobs(const std::vector<SchemeUnderTest> &schemes,
+               const std::vector<MixSpec> &mixes, std::uint32_t seeds)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(schemes.size() * mixes.size() * seeds);
+    for (std::size_t si = 0; si < schemes.size(); si++)
+        for (const auto &mix : mixes)
+            for (std::uint32_t s = 0; s < seeds; s++) {
+                SweepJob job;
+                job.mix = mix;
+                job.sut = schemes[si];
+                job.seed = s + 1;
+                job.tag = si;
+                jobs.push_back(std::move(job));
+            }
+    return jobs;
+}
+
+} // namespace ubik

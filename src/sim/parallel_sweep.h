@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Parallel experiment engine: execute a vector of independent run
+ * descriptors (scheme x mix x load x seed) across all cores.
+ *
+ * The engine is deterministic by construction. Every descriptor names
+ * its own seed, every job draws randomness only from that seed (jobs
+ * needing a whole generator can split one off with Rng::jobStream),
+ * and every result lands in the slot
+ * indexed by its descriptor, so the output vector is bit-identical to
+ * a sequential execution regardless of worker count or scheduling
+ * order. Baselines are pre-warmed in a parallel phase of their own:
+ * they too are pure functions of (app, load, seed), so concurrent
+ * computation cannot change their values — pre-warming only removes
+ * redundant work from the mix phase.
+ *
+ * Worker count comes from the UBIK_JOBS environment variable (default
+ * all cores; 1 recovers the legacy sequential path on the calling
+ * thread).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job_pool.h"
+#include "sim/mix_runner.h"
+
+namespace ubik {
+
+/** One independent experiment: a mix under a scheme with a seed. */
+struct SweepJob
+{
+    MixSpec mix;
+    SchemeUnderTest sut;
+    std::uint64_t seed = 1;
+
+    /** Caller cookie (e.g. index into a scheme table); the engine
+     *  never interprets it. */
+    std::uint64_t tag = 0;
+};
+
+/** Executes SweepJob batches through a shared MixRunner. */
+class ParallelSweep
+{
+  public:
+    /**
+     * @param runner shared (thread-safe) methodology layer
+     * @param workers worker count; 0 defers to UBIK_JOBS / all cores
+     */
+    explicit ParallelSweep(MixRunner &runner, unsigned workers = 0);
+
+    /** Worker count the engine executes with. */
+    unsigned workers() const { return pool_.workers(); }
+
+    /**
+     * Run every job and return results in job order. Results are
+     * bit-identical across worker counts. If `on_done` is set it is
+     * called after each job completes with (completed so far, total);
+     * calls come from worker threads, possibly concurrently, so the
+     * callback must be thread-safe (a bare fprintf is).
+     */
+    std::vector<MixRunResult>
+    run(const std::vector<SweepJob> &jobs,
+        const std::function<void(std::size_t, std::size_t)> &on_done =
+            nullptr);
+
+    /**
+     * Compute every LC and batch baseline the jobs will need, in
+     * parallel, so the mix phase hits only warm caches. run() calls
+     * this itself; it is public for benches that use the baselines
+     * directly (e.g. Fig 1 latency curves).
+     */
+    void prewarmBaselines(const std::vector<SweepJob> &jobs);
+
+    /** The underlying pool, for auxiliary parallel phases. */
+    JobPool &pool() { return pool_; }
+
+  private:
+    MixRunner &runner_;
+    JobPool pool_;
+};
+
+/**
+ * Expand the cross product schemes x mixes x seeds (seed values
+ * 1..seeds, matching the legacy sweep loops) into jobs tagged with
+ * their scheme index, in the same order the sequential loops ran them.
+ */
+std::vector<SweepJob>
+buildSweepJobs(const std::vector<SchemeUnderTest> &schemes,
+               const std::vector<MixSpec> &mixes, std::uint32_t seeds);
+
+} // namespace ubik

@@ -1,7 +1,7 @@
 #include "trace/access_trace.h"
 
-#include <bit>
 #include <cstdio>
+#include <cstring>
 
 #include "common/log.h"
 
@@ -55,7 +55,9 @@ struct ByteReader
         std::uint64_t bits = 0;
         for (int i = 0; i < 8; i++)
             bits |= static_cast<std::uint64_t>(byte()) << (8 * i);
-        return std::bit_cast<double>(bits);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v)); // C++17: no std::bit_cast
+        return v;
     }
 
     std::uint64_t
@@ -145,7 +147,8 @@ TraceWriter::putSvarint(std::int64_t v)
 void
 TraceWriter::putF64(double v)
 {
-    std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits)); // C++17: no std::bit_cast
     for (int i = 0; i < 8; i++)
         putByte(static_cast<std::uint8_t>(bits >> (8 * i)));
 }

@@ -17,12 +17,15 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "sim/mix_runner.h"
+#include "sim/parallel_sweep.h"
 #include "trace/csv.h"
 #include "workload/mix.h"
 #include "common/cli.h"
 #include "common/log.h"
+#include "stats/streaming_stats.h"
 
 using namespace ubik;
 
@@ -115,6 +118,13 @@ main(int argc, char **argv)
                          "memory model: fixed, contended, partitioned");
     auto &seed = cli.flag("seed", static_cast<std::int64_t>(1),
                           "random seed");
+    auto &seeds = cli.flag("seeds", static_cast<std::int64_t>(1),
+                           "run this many consecutive seeds (starting "
+                           "at --seed) through the parallel engine "
+                           "and report the spread");
+    auto &jobs = cli.flag("jobs", static_cast<std::int64_t>(0),
+                          "engine workers (0 = UBIK_JOBS or all "
+                          "cores, 1 = sequential)");
     auto &inorder = cli.flag("inorder", false,
                              "use in-order cores instead of OOO");
     auto &csv_prefix =
@@ -129,7 +139,14 @@ main(int argc, char **argv)
     if (batch.value.size() != 3)
         fatal("--batch needs exactly three class codes (n/f/t/s)");
 
+    if (seeds.value < 1)
+        fatal("--seeds must be >= 1");
+    if (jobs.value < 0)
+        fatal("--jobs must be >= 0 (0 = UBIK_JOBS or all cores)");
+
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    if (jobs.value > 0)
+        cfg.jobs = static_cast<std::uint32_t>(jobs.value);
     cfg.printHeader("ubik_cli");
 
     SchemeUnderTest sut;
@@ -150,11 +167,47 @@ main(int argc, char **argv)
     spec.name = lc.value + "/" + batch.value;
 
     MixRunner runner(cfg, !inorder.value);
-    std::printf("running mix %s under %s (load %.2f, seed %lld)...\n",
+    std::printf("running mix %s under %s (load %.2f, seed%s %lld",
                 spec.name.c_str(), sut.label.c_str(), load.value,
+                seeds.value > 1 ? "s" : "",
                 static_cast<long long>(seed.value));
-    MixRunResult res = runner.runMix(
-        spec, sut, static_cast<std::uint64_t>(seed.value));
+    if (seeds.value > 1)
+        std::printf("..%lld",
+                    static_cast<long long>(seed.value + seeds.value - 1));
+    std::printf(")...\n");
+
+    // All seeds go through the parallel experiment engine; with
+    // --seeds 1 (the default) that degenerates to the single run the
+    // tool always did.
+    std::vector<SweepJob> sweep_jobs;
+    for (std::int64_t s = 0; s < seeds.value; s++) {
+        SweepJob j;
+        j.mix = spec;
+        j.sut = sut;
+        j.seed = static_cast<std::uint64_t>(seed.value + s);
+        sweep_jobs.push_back(std::move(j));
+    }
+    ParallelSweep engine(runner, cfg.jobs);
+    std::vector<MixRunResult> all = engine.run(sweep_jobs);
+    const MixRunResult &res = all.front();
+
+    if (all.size() > 1) {
+        StreamingStats tail, ws;
+        for (const auto &r : all) {
+            tail.add(r.tailDegradation);
+            ws.add(r.weightedSpeedup);
+        }
+        std::printf("\nSeed sweep (%zu seeds, %u workers):\n",
+                    all.size(), engine.workers());
+        std::printf("  tail degradation:        %.3fx avg, "
+                    "[%.3fx, %.3fx]\n",
+                    tail.mean(), tail.min(), tail.max());
+        std::printf("  batch weighted speedup:  %.3fx avg, "
+                    "[%.3fx, %.3fx]\n",
+                    ws.mean(), ws.min(), ws.max());
+        std::printf("\nFirst seed (%lld) in detail:\n",
+                    static_cast<long long>(seed.value));
+    }
 
     std::printf("\nResults (vs private-LLC baseline):\n");
     std::printf("  LC tail mean (95p):      %.3f ms\n",
@@ -175,10 +228,8 @@ main(int argc, char **argv)
             spec.lc.app, spec.lc.load,
             static_cast<std::uint64_t>(seed.value));
         CmpConfig cc = cfg.baseCmpConfig(!inorder.value);
-        cc.scheme = sut.scheme;
-        cc.array = sut.array;
-        cc.policy = sut.policy;
-        cc.slack = sut.slack;
+        // Same machine as the reported results, plus tracing.
+        sut.applyTo(cc);
         cc.traceAllocations = true;
         std::vector<LcAppSpec> lcs(3);
         for (auto &s : lcs) {
