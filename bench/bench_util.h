@@ -22,6 +22,7 @@
 
 #include "sim/mix_runner.h"
 #include "sim/parallel_sweep.h"
+#include "sim/result_cache.h"
 #include "stats/streaming_stats.h"
 #include "trace/csv.h"
 #include "workload/mix.h"
@@ -37,12 +38,34 @@ struct SweepResult
     std::vector<std::string> mixNames;   ///< parallel to runs
 };
 
+/** Print a ResultCache's counters (sweep epilogue, --cache-stats). */
+inline void
+printCacheStats(const ResultCache &cache, std::FILE *out = stderr)
+{
+    CacheStats st = cache.stats();
+    std::fprintf(out,
+                 "  [cache] %s: %llu hits (%llu mix), %llu misses "
+                 "(%llu mix), %llu stores, %llu stale evicted, "
+                 "%llu corrupt dropped\n",
+                 cache.dir().c_str(),
+                 static_cast<unsigned long long>(st.hits),
+                 static_cast<unsigned long long>(st.mixHits),
+                 static_cast<unsigned long long>(st.misses),
+                 static_cast<unsigned long long>(st.mixMisses),
+                 static_cast<unsigned long long>(st.stores),
+                 static_cast<unsigned long long>(st.evicted),
+                 static_cast<unsigned long long>(st.corrupt));
+}
+
 /**
  * Run `schemes` over an explicit mix list through the parallel
  * experiment engine (UBIK_JOBS workers; results are bit-identical to
- * the sequential order for any worker count). Used directly by
- * benches whose question is only posed on specific colocations (e.g.
- * cache-hungry batch mixes for the Ubik-knob ablations).
+ * the sequential order for any worker count). When cfg.cacheDir is
+ * set (UBIK_CACHE_DIR), mix results and baselines persist across
+ * invocations and only never-seen configurations are simulated. Used
+ * directly by benches whose question is only posed on specific
+ * colocations (e.g. cache-hungry batch mixes for the Ubik-knob
+ * ablations).
  */
 inline std::vector<SweepResult>
 runCustomSweep(const ExperimentConfig &cfg,
@@ -50,18 +73,25 @@ runCustomSweep(const ExperimentConfig &cfg,
                const std::vector<MixSpec> &mixes, bool ooo = true)
 {
     MixRunner runner(cfg, ooo);
+    std::unique_ptr<ResultCache> cache = ResultCache::open(cfg.cacheDir);
+    runner.attachCache(cache.get());
     ParallelSweep engine(runner, cfg.jobs);
+    engine.attachCache(cache.get());
     std::vector<SweepJob> jobs =
         buildSweepJobs(schemes, mixes, cfg.seeds);
     // Live progress from inside the engine (the per-scheme summary
     // lines below only appear once the whole sweep is done).
     std::size_t step = std::max<std::size_t>(1, jobs.size() / 20);
     std::vector<MixRunResult> results =
-        engine.run(jobs, [&](std::size_t done, std::size_t total) {
-            if (done % step == 0 || done == total)
-                std::fprintf(stderr, "  [sweep] %zu/%zu runs done\n",
-                             done, total);
+        engine.run(jobs, [&](const SweepProgress &p) {
+            if (p.done % step == 0 || p.done == p.total)
+                std::fprintf(stderr,
+                             "  [sweep] %zu/%zu runs done "
+                             "(%zu cached, %zu computed)\n",
+                             p.done, p.total, p.hits, p.computed);
         });
+    if (cache)
+        printCacheStats(*cache);
 
     // Regroup the flat job-ordered results per scheme (jobs are
     // scheme-major, so each scheme's block is contiguous).

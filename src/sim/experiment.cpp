@@ -5,6 +5,7 @@
 
 #include "common/log.h"
 #include "sim/job_pool.h"
+#include "sim/result_cache.h"
 
 namespace ubik {
 
@@ -66,6 +67,8 @@ ExperimentConfig::fromEnv()
         cfg.jobs = static_cast<std::uint32_t>(v);
     }
     cfg.verbose = envU64("UBIK_VERBOSE", 0) != 0;
+    if (const char *dir = std::getenv("UBIK_CACHE_DIR"))
+        cfg.cacheDir = dir;
     return cfg;
 }
 
@@ -129,6 +132,9 @@ ExperimentConfig::printHeader(const char *bench_name) const
                 static_cast<unsigned long long>(roiRequests),
                 static_cast<unsigned long long>(warmupRequests),
                 seeds, mixesPerLc, effectiveJobs());
+    if (!cacheDir.empty())
+        std::printf("# result cache: %s (schema v%u)\n",
+                    cacheDir.c_str(), kResultCacheSchemaVersion);
     std::printf("# paper-scale run: UBIK_SCALE=1 UBIK_REQUESTS=6000 "
                 "UBIK_MIXES=40 UBIK_SEEDS=8\n");
 }

@@ -19,11 +19,14 @@
  *                 1 = legacy sequential path)
  *   UBIK_VERBOSE  1 = chatty progress output
  *   UBIK_CSV_DIR  directory for per-run CSV exports (sweep benches)
+ *   UBIK_CACHE_DIR persistent result cache directory (unset = no
+ *                 caching; see sim/result_cache.h)
  */
 
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "sim/cmp.h"
 #include "common/types.h"
@@ -44,6 +47,10 @@ struct ExperimentConfig
     std::uint32_t jobs = 0;
 
     bool verbose = false;
+
+    /** Persistent result cache directory (UBIK_CACHE_DIR; empty =
+     *  caching disabled). Never part of a result's cache key. */
+    std::string cacheDir;
 
     /** `jobs` with 0 resolved to the actual core count. */
     unsigned effectiveJobs() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.h"
+#include "sim/result_cache.h"
 
 namespace ubik {
 
@@ -78,6 +79,17 @@ MixRunner::lcBaseline(const LcAppParams &params, double load,
             return it->second;
     }
 
+    // Persistent store next (bit-exact round trip, so a hit is
+    // indistinguishable from recomputing).
+    std::string pkey;
+    if (cache_) {
+        pkey = lcBaselineKey(cfg_, params, load, seed, ooo_);
+        if (auto cached = cache_->loadLcBaseline(pkey)) {
+            std::lock_guard<std::mutex> lock(cacheMu_);
+            return lcCache_.emplace(key, *cached).first->second;
+        }
+    }
+
     // Compute outside the lock: the calibration is deterministic in
     // (params, load, seed), so two racing threads produce identical
     // values and whichever emplace wins is correct for both.
@@ -121,6 +133,9 @@ MixRunner::lcBaseline(const LcAppParams &params, double load,
         base.p95 = static_cast<Cycles>(lat.percentile(95.0));
     }
 
+    if (cache_)
+        cache_->storeLcBaseline(pkey, base);
+
     std::lock_guard<std::mutex> lock(cacheMu_);
     auto [ins, ok] = lcCache_.emplace(key, base);
     (void)ok;
@@ -139,6 +154,16 @@ MixRunner::batchAloneIpc(const BatchAppParams &params,
             return it->second;
     }
 
+    std::string pkey;
+    if (cache_) {
+        pkey = batchBaselineKey(cfg_, params, seed, ooo_);
+        if (auto cached = cache_->loadBatchIpc(pkey)) {
+            std::lock_guard<std::mutex> lock(cacheMu_);
+            batchCache_.emplace(key, *cached);
+            return *cached;
+        }
+    }
+
     CmpConfig cc = cfg_.baseCmpConfig(ooo_);
     cc.privateLlc = true;
     BatchAppSpec spec;
@@ -147,6 +172,8 @@ MixRunner::batchAloneIpc(const BatchAppParams &params,
     cmp.run();
     double ipc = cmp.batchResult(0).ipc();
     ubik_assert(ipc > 0);
+    if (cache_)
+        cache_->storeBatchIpc(pkey, ipc);
     std::lock_guard<std::mutex> lock(cacheMu_);
     batchCache_.emplace(key, ipc);
     return ipc;

@@ -30,6 +30,8 @@
 
 namespace ubik {
 
+class ResultCache;
+
 /** Baseline characteristics of one LC app at one load. */
 struct LcBaseline
 {
@@ -115,6 +117,21 @@ class MixRunner
 
     const ExperimentConfig &config() const { return cfg_; }
 
+    /** Core model flavour (enters the persistent cache keys). */
+    bool outOfOrder() const { return ooo_; }
+
+    /**
+     * Persist baselines through `cache` (not owned; may be null to
+     * detach): on an in-memory miss the persistent store is consulted
+     * before computing, and computed baselines are stored back. The
+     * cached values are bit-exact, so attaching a cache never changes
+     * any result.
+     */
+    void attachCache(ResultCache *cache) { cache_ = cache; }
+
+    /** The attached persistent cache, or null. */
+    ResultCache *cache() const { return cache_; }
+
     /**
      * Baseline for an LC app at a load (cached). `params` must be
      * full-scale; scaling happens internally.
@@ -148,6 +165,7 @@ class MixRunner
   private:
     ExperimentConfig cfg_;
     bool ooo_;
+    ResultCache *cache_ = nullptr; ///< optional persistent store
     std::mutex cacheMu_; ///< guards the two baseline caches
     std::map<std::string, LcBaseline> lcCache_;
     std::map<std::string, double> batchCache_;

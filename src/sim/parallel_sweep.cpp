@@ -1,5 +1,7 @@
 #include "sim/parallel_sweep.h"
 
+#include "sim/result_cache.h"
+
 #include <atomic>
 #include <map>
 #include <set>
@@ -65,16 +67,56 @@ ParallelSweep::prewarmBaselines(const std::vector<SweepJob> &jobs)
 std::vector<MixRunResult>
 ParallelSweep::run(
     const std::vector<SweepJob> &jobs,
-    const std::function<void(std::size_t, std::size_t)> &on_done)
+    const std::function<void(const SweepProgress &)> &on_done)
 {
-    prewarmBaselines(jobs);
     std::vector<MixRunResult> results(jobs.size());
-    std::atomic<std::size_t> done{0};
-    pool_.run(jobs.size(), [&](std::size_t i) {
+
+    // Lookup-before-submit: hits fill their result slots directly and
+    // drop out of the sweep; only misses are simulated (and their
+    // baselines prewarmed), so a fully warm run performs zero mix
+    // recomputation.
+    std::vector<std::size_t> missIdx;
+    std::vector<std::string> missKey;
+    std::size_t hits = 0;
+    if (cache_) {
+        for (std::size_t i = 0; i < jobs.size(); i++) {
+            std::string key =
+                mixResultKey(runner_.config(), jobs[i].mix, jobs[i].sut,
+                             jobs[i].seed, runner_.outOfOrder());
+            if (auto cached = cache_->loadMix(key)) {
+                results[i] = std::move(*cached);
+                hits++;
+            } else {
+                missIdx.push_back(i);
+                missKey.push_back(std::move(key));
+            }
+        }
+        if (on_done && hits > 0)
+            on_done({hits, jobs.size(), hits, 0});
+    } else {
+        missIdx.resize(jobs.size());
+        for (std::size_t i = 0; i < jobs.size(); i++)
+            missIdx[i] = i;
+    }
+    if (missIdx.empty())
+        return results;
+
+    std::vector<SweepJob> missJobs;
+    missJobs.reserve(missIdx.size());
+    for (std::size_t i : missIdx)
+        missJobs.push_back(jobs[i]);
+    prewarmBaselines(missJobs);
+
+    std::atomic<std::size_t> computed{0};
+    pool_.run(missIdx.size(), [&](std::size_t k) {
+        std::size_t i = missIdx[k];
         results[i] =
             runner_.runMix(jobs[i].mix, jobs[i].sut, jobs[i].seed);
+        if (cache_)
+            cache_->storeMix(missKey[k], results[i]);
+        std::size_t c = computed.fetch_add(1) + 1;
         if (on_done)
-            on_done(done.fetch_add(1) + 1, jobs.size());
+            on_done({hits + c, jobs.size(), hits, c});
     });
     return results;
 }

@@ -41,6 +41,19 @@ struct SweepJob
     std::uint64_t tag = 0;
 };
 
+/** Sweep progress snapshot handed to the run() callback. */
+struct SweepProgress
+{
+    std::size_t done = 0;  ///< jobs finished so far (hits + computed)
+    std::size_t total = 0; ///< jobs in the sweep
+
+    /** Of `done`: served from the persistent result cache. */
+    std::size_t hits = 0;
+
+    /** Of `done`: actually simulated this run. */
+    std::size_t computed = 0;
+};
+
 /** Executes SweepJob batches through a shared MixRunner. */
 class ParallelSweep
 {
@@ -55,15 +68,26 @@ class ParallelSweep
     unsigned workers() const { return pool_.workers(); }
 
     /**
+     * Serve cache hits from `cache` (not owned; null detaches) before
+     * submitting jobs, and store computed results back. Values
+     * round-trip bit-exactly, so a warm sweep equals the cold one.
+     * Attach the same cache to the runner (MixRunner::attachCache) to
+     * persist baselines too.
+     */
+    void attachCache(ResultCache *cache) { cache_ = cache; }
+
+    /**
      * Run every job and return results in job order. Results are
-     * bit-identical across worker counts. If `on_done` is set it is
-     * called after each job completes with (completed so far, total);
-     * calls come from worker threads, possibly concurrently, so the
-     * callback must be thread-safe (a bare fprintf is).
+     * bit-identical across worker counts and across cache states
+     * (cold, warm, or mixed). If `on_done` is set it is called once
+     * after the cache-hit scan (when any job hit) and then after each
+     * computed job; calls come from worker threads, possibly
+     * concurrently, so the callback must be thread-safe (a bare
+     * fprintf is).
      */
     std::vector<MixRunResult>
     run(const std::vector<SweepJob> &jobs,
-        const std::function<void(std::size_t, std::size_t)> &on_done =
+        const std::function<void(const SweepProgress &)> &on_done =
             nullptr);
 
     /**
@@ -80,6 +104,7 @@ class ParallelSweep
   private:
     MixRunner &runner_;
     JobPool pool_;
+    ResultCache *cache_ = nullptr; ///< optional persistent store
 };
 
 /**

@@ -1,0 +1,633 @@
+#include "sim/result_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Canonical encoding primitives
+// ---------------------------------------------------------------------------
+
+std::uint64_t
+fnv1a64(const std::string &s)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+/** Exact bit pattern: the only double encoding that round-trips. */
+std::string
+hexDouble(double d)
+{
+    std::uint64_t u;
+    std::memcpy(&u, &d, sizeof(u));
+    return hexU64(u);
+}
+
+bool
+parseHex64(const std::string &tok, std::uint64_t &out)
+{
+    if (tok.size() != 16)
+        return false;
+    char *end = nullptr;
+    out = std::strtoull(tok.c_str(), &end, 16);
+    return end == tok.c_str() + 16;
+}
+
+bool
+parseHexDouble(const std::string &tok, double &out)
+{
+    std::uint64_t u;
+    if (!parseHex64(tok, u))
+        return false;
+    std::memcpy(&out, &u, sizeof(out));
+    return true;
+}
+
+/** Make a string safe as one space-separated record token. */
+std::string
+escapeToken(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        if (c == ' ' || c == '%' || c == '\n' || c == '\r' ||
+            c == '\t' || c == '\0') {
+            char buf[4];
+            std::snprintf(buf, sizeof(buf), "%%%02X", c);
+            out += buf;
+        } else {
+            out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+bool
+unescapeToken(const std::string &s, std::string &out)
+{
+    out.clear();
+    out.reserve(s.size());
+    for (std::size_t i = 0; i < s.size(); i++) {
+        if (s[i] != '%') {
+            out += s[i];
+            continue;
+        }
+        if (i + 2 >= s.size())
+            return false;
+        auto nib = [](char c) -> int {
+            if (c >= '0' && c <= '9')
+                return c - '0';
+            if (c >= 'A' && c <= 'F')
+                return c - 'A' + 10;
+            if (c >= 'a' && c <= 'f')
+                return c - 'a' + 10;
+            return -1;
+        };
+        int hi = nib(s[i + 1]), lo = nib(s[i + 2]);
+        if (hi < 0 || lo < 0)
+            return false;
+        out += static_cast<char>(hi * 16 + lo);
+        i += 2;
+    }
+    return true;
+}
+
+std::vector<std::string>
+splitOn(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); i++) {
+        if (i == s.size() || s[i] == sep) {
+            out.push_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+/** Builds the canonical `v<schema>|name=value|...` key string. */
+class KeyBuilder
+{
+  public:
+    explicit KeyBuilder(const char *what, std::uint32_t schema)
+    {
+        out_ = "v" + std::to_string(schema) + "|" + what;
+    }
+
+    KeyBuilder &add(const char *name, const std::string &v)
+    {
+        std::string esc;
+        esc.reserve(v.size());
+        // '|' and '=' structure the key, '%' escapes; nothing else
+        // needs quoting (spaces are handled at the record layer).
+        for (char c : v) {
+            if (c == '|')
+                esc += "%7C";
+            else if (c == '=')
+                esc += "%3D";
+            else if (c == '%')
+                esc += "%25";
+            else
+                esc += c;
+        }
+        out_ += "|";
+        out_ += name;
+        out_ += "=";
+        out_ += esc;
+        return *this;
+    }
+
+    KeyBuilder &add(const char *name, std::uint64_t v)
+    {
+        return add(name, std::to_string(v));
+    }
+
+    KeyBuilder &add(const char *name, std::uint32_t v)
+    {
+        return add(name, std::to_string(v));
+    }
+
+    KeyBuilder &add(const char *name, int v)
+    {
+        return add(name, std::to_string(v));
+    }
+
+    KeyBuilder &add(const char *name, bool v)
+    {
+        return add(name, std::string(v ? "1" : "0"));
+    }
+
+    KeyBuilder &add(const char *name, double v)
+    {
+        return add(name, hexDouble(v));
+    }
+
+    std::string str() const { return out_; }
+
+  private:
+    std::string out_;
+};
+
+void
+addExperiment(KeyBuilder &kb, const ExperimentConfig &cfg, bool ooo)
+{
+    kb.add("scale", cfg.scale)
+        .add("roi", cfg.roiRequests)
+        .add("warmup", cfg.warmupRequests)
+        .add("ooo", ooo);
+}
+
+void
+addLcApp(KeyBuilder &kb, const LcAppParams &p)
+{
+    kb.add("lc.name", p.name)
+        .add("lc.apki", p.apki)
+        .add("lc.work", p.work.canonical())
+        .add("lc.hotLines", p.hotLines)
+        .add("lc.hotTheta", p.hotTheta)
+        .add("lc.hotFrac", p.hotFrac)
+        .add("lc.reqLines", p.reqLines)
+        .add("lc.mlp", p.mlp)
+        .add("lc.baseIpc", p.baseIpc)
+        .add("lc.requests", p.requests);
+}
+
+void
+addBatchApp(KeyBuilder &kb, const BatchAppParams &p, int i)
+{
+    std::string pre = "b" + std::to_string(i) + ".";
+    kb.add((pre + "name").c_str(), p.name)
+        .add((pre + "cls").c_str(), static_cast<int>(p.cls))
+        .add((pre + "apki").c_str(), p.apki)
+        .add((pre + "wsLines").c_str(), p.wsLines)
+        .add((pre + "theta").c_str(), p.theta)
+        .add((pre + "mlp").c_str(), p.mlp)
+        .add((pre + "baseIpc").c_str(), p.baseIpc);
+}
+
+void
+addScheme(KeyBuilder &kb, const SchemeUnderTest &sut)
+{
+    kb.add("sut.label", sut.label)
+        .add("sut.scheme", static_cast<int>(sut.scheme))
+        .add("sut.array", static_cast<int>(sut.array))
+        .add("sut.policy", static_cast<int>(sut.policy))
+        .add("sut.slack", sut.slack)
+        .add("ubik.slack", sut.ubik.slack)
+        .add("ubik.idleOptions", sut.ubik.idleOptions)
+        .add("ubik.deboostGuard", sut.ubik.deboostGuard)
+        .add("ubik.slackGain", sut.ubik.slackGain)
+        .add("ubik.dutyAlpha", sut.ubik.dutyAlpha)
+        .add("ubik.accurateDeboost", sut.ubik.accurateDeboost)
+        .add("sut.reconfigScale", sut.reconfigScale)
+        .add("sut.mem", static_cast<int>(sut.mem))
+        .add("mem.baseLatency", sut.memParams.baseLatency)
+        .add("mem.channels", sut.memParams.channels)
+        .add("mem.channelOccupancy", sut.memParams.channelOccupancy)
+        .add("sut.lcMemShare", sut.lcMemShare);
+}
+
+// ---------------------------------------------------------------------------
+// Payload serialization (comma-joined tokens, doubles bit-exact)
+// ---------------------------------------------------------------------------
+
+std::string
+serializeMix(const MixRunResult &r)
+{
+    std::string out = hexDouble(r.lcTailMean) + "," +
+                      hexDouble(r.tailDegradation) + "," +
+                      hexDouble(r.meanDegradation) + "," +
+                      hexDouble(r.weightedSpeedup) + "," +
+                      std::to_string(r.batchSpeedups.size());
+    for (double s : r.batchSpeedups)
+        out += "," + hexDouble(s);
+    out += "," + hexU64(r.ubikDeboosts);
+    out += "," + hexU64(r.ubikDeadlineDeboosts);
+    out += "," + hexU64(r.ubikWatermarks);
+    return out;
+}
+
+bool
+parseMix(const std::string &payload, MixRunResult &out)
+{
+    std::vector<std::string> t = splitOn(payload, ',');
+    if (t.size() < 8)
+        return false;
+    MixRunResult r;
+    if (!parseHexDouble(t[0], r.lcTailMean) ||
+        !parseHexDouble(t[1], r.tailDegradation) ||
+        !parseHexDouble(t[2], r.meanDegradation) ||
+        !parseHexDouble(t[3], r.weightedSpeedup))
+        return false;
+    char *end = nullptr;
+    std::uint64_t n = std::strtoull(t[4].c_str(), &end, 10);
+    if (end == t[4].c_str() || *end || t.size() != 8 + n)
+        return false;
+    r.batchSpeedups.resize(n);
+    for (std::uint64_t i = 0; i < n; i++)
+        if (!parseHexDouble(t[5 + i], r.batchSpeedups[i]))
+            return false;
+    if (!parseHex64(t[5 + n], r.ubikDeboosts) ||
+        !parseHex64(t[6 + n], r.ubikDeadlineDeboosts) ||
+        !parseHex64(t[7 + n], r.ubikWatermarks))
+        return false;
+    out = std::move(r);
+    return true;
+}
+
+std::string
+serializeLcBaseline(const LcBaseline &b)
+{
+    return hexDouble(b.meanServiceCycles) + "," +
+           hexDouble(b.meanInterarrival) + "," +
+           hexDouble(b.meanLatency) + "," + hexDouble(b.tailMean) +
+           "," + hexU64(b.p95);
+}
+
+bool
+parseLcBaseline(const std::string &payload, LcBaseline &out)
+{
+    std::vector<std::string> t = splitOn(payload, ',');
+    if (t.size() != 5)
+        return false;
+    LcBaseline b;
+    if (!parseHexDouble(t[0], b.meanServiceCycles) ||
+        !parseHexDouble(t[1], b.meanInterarrival) ||
+        !parseHexDouble(t[2], b.meanLatency) ||
+        !parseHexDouble(t[3], b.tailMean) || !parseHex64(t[4], b.p95))
+        return false;
+    out = b;
+    return true;
+}
+
+/** Checksum input: unescaped fields joined by an unambiguous
+ *  separator that cannot appear inside them post-escape. */
+std::string
+checksumInput(char kind, const std::string &key,
+              const std::string &payload)
+{
+    std::string s(1, kind);
+    s += '\x1f';
+    s += key;
+    s += '\x1f';
+    s += payload;
+    return s;
+}
+
+constexpr char kRecordMagic[] = "U1";
+
+/** Record kinds. */
+constexpr char kKindMix = 'm';
+constexpr char kKindLc = 'l';
+constexpr char kKindBatch = 'b';
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Canonical keys
+// ---------------------------------------------------------------------------
+
+std::string
+mixResultKey(const ExperimentConfig &cfg, const MixSpec &mix,
+             const SchemeUnderTest &sut, std::uint64_t seed,
+             bool out_of_order, std::uint32_t schema)
+{
+    KeyBuilder kb("mix", schema);
+    addExperiment(kb, cfg, out_of_order);
+    kb.add("mix.name", mix.name);
+    addLcApp(kb, mix.lc.app);
+    kb.add("lc.load", mix.lc.load);
+    kb.add("batch.name", mix.batch.name);
+    for (int i = 0; i < 3; i++)
+        addBatchApp(kb, mix.batch.apps[static_cast<std::size_t>(i)], i);
+    addScheme(kb, sut);
+    kb.add("seed", seed);
+    return kb.str();
+}
+
+std::string
+lcBaselineKey(const ExperimentConfig &cfg, const LcAppParams &params,
+              double load, std::uint64_t seed, bool out_of_order,
+              std::uint32_t schema)
+{
+    KeyBuilder kb("lcbase", schema);
+    addExperiment(kb, cfg, out_of_order);
+    addLcApp(kb, params);
+    kb.add("lc.load", load);
+    kb.add("seed", seed);
+    return kb.str();
+}
+
+std::string
+batchBaselineKey(const ExperimentConfig &cfg,
+                 const BatchAppParams &params, std::uint64_t seed,
+                 bool out_of_order, std::uint32_t schema)
+{
+    KeyBuilder kb("batchbase", schema);
+    addExperiment(kb, cfg, out_of_order);
+    addBatchApp(kb, params, 0);
+    kb.add("seed", seed);
+    return kb.str();
+}
+
+// ---------------------------------------------------------------------------
+// ResultCache
+// ---------------------------------------------------------------------------
+
+struct ResultCache::Shard
+{
+    std::mutex mu;
+    bool loaded = false;
+    /** (kind + key) -> payload. */
+    std::map<std::string, std::string> entries;
+};
+
+ResultCache::ResultCache(std::string dir)
+    : dir_(std::move(dir)), shards_(new Shard[kShards])
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (!std::filesystem::is_directory(dir_))
+        warn("result cache: cannot create '%s' (%s); caching disabled",
+             dir_.c_str(), ec.message().c_str());
+}
+
+ResultCache::~ResultCache() = default;
+
+std::unique_ptr<ResultCache>
+ResultCache::open(const std::string &dir)
+{
+    if (dir.empty())
+        return nullptr;
+    auto cache = std::make_unique<ResultCache>(dir);
+    if (!std::filesystem::is_directory(dir))
+        return nullptr; // the constructor already warned
+    return cache;
+}
+
+std::size_t
+ResultCache::shardOf(const std::string &key)
+{
+    return static_cast<std::size_t>(fnv1a64(key) % kShards);
+}
+
+std::string
+ResultCache::shardPath(std::size_t idx) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard_%02zx.ubikcache", idx);
+    return dir_ + "/" + name;
+}
+
+void
+ResultCache::loadShardLocked(Shard &s, std::size_t idx)
+{
+    s.loaded = true;
+    std::ifstream in(shardPath(idx));
+    if (!in.is_open())
+        return; // nothing persisted yet
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::vector<std::string> tok = splitOn(line, ' ');
+        // U1 <schema> <kind> <key> <payload> <crc>
+        if (tok.size() != 6 || tok[0] != kRecordMagic ||
+            tok[2].size() != 1) {
+            corrupt_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        std::string key, payload;
+        std::uint64_t crc;
+        if (!unescapeToken(tok[3], key) ||
+            !unescapeToken(tok[4], payload) ||
+            !parseHex64(tok[5], crc) ||
+            crc != fnv1a64(checksumInput(tok[2][0], key, payload))) {
+            corrupt_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        char *end = nullptr;
+        std::uint64_t schema = std::strtoull(tok[1].c_str(), &end, 10);
+        if (end == tok[1].c_str() || *end) {
+            corrupt_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        if (schema != kResultCacheSchemaVersion) {
+            evicted_.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        // First record wins; duplicates from racing appends carry the
+        // same deterministic value anyway.
+        s.entries.emplace(tok[2] + key, std::move(payload));
+    }
+}
+
+std::optional<std::string>
+ResultCache::load(char kind, const std::string &key)
+{
+    std::size_t idx = shardOf(key);
+    Shard &s = shards_[idx];
+    std::optional<std::string> out;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        if (!s.loaded)
+            loadShardLocked(s, idx);
+        auto it = s.entries.find(std::string(1, kind) + key);
+        if (it != s.entries.end())
+            out = it->second;
+    }
+    if (out) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (kind == kKindMix)
+            mixHits_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        if (kind == kKindMix)
+            mixMisses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+}
+
+void
+ResultCache::store(char kind, const std::string &key,
+                   const std::string &payload)
+{
+    std::size_t idx = shardOf(key);
+    Shard &s = shards_[idx];
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.loaded)
+        loadShardLocked(s, idx);
+    std::string mapKey = std::string(1, kind) + key;
+    auto it = s.entries.find(mapKey);
+    if (it != s.entries.end() && it->second == payload)
+        return; // already persisted (e.g. a racing process beat us)
+
+    std::string line = std::string(kRecordMagic) + " " +
+                       std::to_string(kResultCacheSchemaVersion) + " " +
+                       std::string(1, kind) + " " + escapeToken(key) +
+                       " " + escapeToken(payload) + " " +
+                       hexU64(fnv1a64(checksumInput(kind, key,
+                                                    payload))) +
+                       "\n";
+    // One append per record: concurrent processes interleave at
+    // record granularity at worst (a torn tail fails its checksum and
+    // reads as a miss).
+    if (std::FILE *f = std::fopen(shardPath(idx).c_str(), "a+b")) {
+        // A crashed writer can leave a torn tail with no newline;
+        // gluing this record onto it would corrupt both. Start a
+        // fresh line instead (the blank line is skipped on load).
+        if (std::fseek(f, -1, SEEK_END) == 0 && std::fgetc(f) != '\n')
+            line.insert(0, 1, '\n');
+        // Update streams require a positioning call between the read
+        // above and the write (C11 7.21.5.3p7).
+        std::fseek(f, 0, SEEK_END);
+        std::fwrite(line.data(), 1, line.size(), f);
+        std::fclose(f);
+    } else {
+        warn("result cache: cannot append to %s",
+             shardPath(idx).c_str());
+    }
+    s.entries[mapKey] = payload;
+    stores_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<MixRunResult>
+ResultCache::loadMix(const std::string &key)
+{
+    std::optional<std::string> payload = load(kKindMix, key);
+    if (!payload)
+        return std::nullopt;
+    MixRunResult r;
+    if (!parseMix(*payload, r)) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return r;
+}
+
+void
+ResultCache::storeMix(const std::string &key, const MixRunResult &res)
+{
+    store(kKindMix, key, serializeMix(res));
+}
+
+std::optional<LcBaseline>
+ResultCache::loadLcBaseline(const std::string &key)
+{
+    std::optional<std::string> payload = load(kKindLc, key);
+    if (!payload)
+        return std::nullopt;
+    LcBaseline b;
+    if (!parseLcBaseline(*payload, b)) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return b;
+}
+
+void
+ResultCache::storeLcBaseline(const std::string &key,
+                             const LcBaseline &base)
+{
+    store(kKindLc, key, serializeLcBaseline(base));
+}
+
+std::optional<double>
+ResultCache::loadBatchIpc(const std::string &key)
+{
+    std::optional<std::string> payload = load(kKindBatch, key);
+    if (!payload)
+        return std::nullopt;
+    double ipc;
+    if (!parseHexDouble(*payload, ipc)) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return ipc;
+}
+
+void
+ResultCache::storeBatchIpc(const std::string &key, double ipc)
+{
+    store(kKindBatch, key, hexDouble(ipc));
+}
+
+CacheStats
+ResultCache::stats() const
+{
+    CacheStats st;
+    st.hits = hits_.load(std::memory_order_relaxed);
+    st.misses = misses_.load(std::memory_order_relaxed);
+    st.stores = stores_.load(std::memory_order_relaxed);
+    st.mixHits = mixHits_.load(std::memory_order_relaxed);
+    st.mixMisses = mixMisses_.load(std::memory_order_relaxed);
+    st.evicted = evicted_.load(std::memory_order_relaxed);
+    st.corrupt = corrupt_.load(std::memory_order_relaxed);
+    return st;
+}
+
+} // namespace ubik

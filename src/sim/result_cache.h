@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Persistent sharded result cache: maps a canonical fingerprint of
+ * (experiment scale, mix, scheme, seed, code-schema version) to a
+ * serialized MixRunResult — or an LC/batch baseline — on disk, so
+ * repeated sweeps across bench invocations only pay for
+ * configurations they have never seen.
+ *
+ * Keys are canonical: every result-relevant field of
+ * ExperimentConfig, MixSpec, SchemeUnderTest (including the full
+ * UbikConfig and MemoryParams), the seed, and the core model flavour
+ * is serialized into the key, doubles as exact bit patterns, so two
+ * differently-constructed but equal configurations produce the same
+ * key and any single field change produces a different one. The key
+ * starts with the code-schema version (kResultCacheSchemaVersion);
+ * bumping it invalidates every stale entry at once — bump it whenever
+ * a simulator change alters results without changing any config
+ * field.
+ *
+ * The store is sharded by key hash into kShards append-only files
+ * under the cache directory. Concurrent JobPool workers (and
+ * concurrent bench processes) therefore mostly touch disjoint files;
+ * within a process a per-shard mutex serializes writers, and across
+ * processes each record is appended with a single O_APPEND-style
+ * write, so the worst interleaving is a duplicate or torn record.
+ * Torn/garbage records fail their checksum and are treated as misses
+ * (counted, skipped, and rewritten on the next store) — a corrupt
+ * shard can cost recomputation but never poisons a result.
+ *
+ * Determinism contract: values round-trip bit-exactly (doubles are
+ * stored as their 64-bit patterns), so a warm-cache sweep is
+ * byte-identical to the cold run that populated it, at any worker
+ * count.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "sim/mix_runner.h"
+
+namespace ubik {
+
+/** Bump to invalidate every cached result after a simulator change
+ *  that alters results without changing any configuration field. */
+constexpr std::uint32_t kResultCacheSchemaVersion = 1;
+
+/** Counters since this ResultCache was opened. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;   ///< lookups served from the store
+    std::uint64_t misses = 0; ///< lookups that found nothing
+    std::uint64_t stores = 0; ///< records appended
+
+    /** Mix-result subset of hits/misses (baselines excluded) — what
+     *  "zero mix recomputation" is asserted on. */
+    std::uint64_t mixHits = 0;
+    std::uint64_t mixMisses = 0;
+
+    /** Stale records dropped on load: schema-version mismatch. */
+    std::uint64_t evicted = 0;
+
+    /** Records dropped on load: truncated or failed checksum. */
+    std::uint64_t corrupt = 0;
+};
+
+/**
+ * Canonical cache key for one mix run. Only the result-relevant
+ * ExperimentConfig fields (scale, roiRequests, warmupRequests) enter
+ * the key: seeds/mixesPerLc select *which* jobs run, jobs is proven
+ * result-neutral by the determinism tests, and verbose/cacheDir are
+ * I/O-only.
+ */
+std::string mixResultKey(const ExperimentConfig &cfg, const MixSpec &mix,
+                         const SchemeUnderTest &sut, std::uint64_t seed,
+                         bool out_of_order,
+                         std::uint32_t schema = kResultCacheSchemaVersion);
+
+/** Canonical key for an LC baseline (calibration + open-loop run). */
+std::string lcBaselineKey(const ExperimentConfig &cfg,
+                          const LcAppParams &params, double load,
+                          std::uint64_t seed, bool out_of_order,
+                          std::uint32_t schema = kResultCacheSchemaVersion);
+
+/** Canonical key for a batch alone-IPC baseline. */
+std::string
+batchBaselineKey(const ExperimentConfig &cfg, const BatchAppParams &params,
+                 std::uint64_t seed, bool out_of_order,
+                 std::uint32_t schema = kResultCacheSchemaVersion);
+
+/** Sharded persistent (key -> result) store. Thread-safe. */
+class ResultCache
+{
+  public:
+    /** Shard-file count; concurrent writers on different shards never
+     *  contend. */
+    static constexpr std::size_t kShards = 64;
+
+    /** Opens (creating if needed) the cache under `dir`. */
+    explicit ResultCache(std::string dir);
+    ~ResultCache();
+
+    ResultCache(const ResultCache &) = delete;
+    ResultCache &operator=(const ResultCache &) = delete;
+
+    /**
+     * Open a cache under `dir`; returns nullptr when `dir` is empty
+     * (caching disabled) or cannot be created.
+     */
+    static std::unique_ptr<ResultCache> open(const std::string &dir);
+
+    std::optional<MixRunResult> loadMix(const std::string &key);
+    void storeMix(const std::string &key, const MixRunResult &res);
+
+    std::optional<LcBaseline> loadLcBaseline(const std::string &key);
+    void storeLcBaseline(const std::string &key, const LcBaseline &base);
+
+    std::optional<double> loadBatchIpc(const std::string &key);
+    void storeBatchIpc(const std::string &key, double ipc);
+
+    CacheStats stats() const;
+
+    const std::string &dir() const { return dir_; }
+
+    /** Which shard a key lands in (exposed for the hardening tests). */
+    static std::size_t shardOf(const std::string &key);
+
+  private:
+    struct Shard;
+
+    std::optional<std::string> load(char kind, const std::string &key);
+    void store(char kind, const std::string &key,
+               const std::string &payload);
+    void loadShardLocked(Shard &s, std::size_t idx);
+    std::string shardPath(std::size_t idx) const;
+
+    std::string dir_;
+    std::unique_ptr<Shard[]> shards_;
+
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> stores_{0};
+    std::atomic<std::uint64_t> mixHits_{0};
+    std::atomic<std::uint64_t> mixMisses_{0};
+    std::atomic<std::uint64_t> evicted_{0};
+    std::atomic<std::uint64_t> corrupt_{0};
+};
+
+} // namespace ubik

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,6 +51,14 @@ class ServiceDistribution
 
     /** Expected instructions per request. */
     double mean() const { return mean_; }
+
+    /**
+     * Stable canonical description (kind plus every parameter, doubles
+     * as exact bit patterns): equal distributions — however
+     * constructed — produce equal strings, and any parameter change
+     * changes the string. Used by the persistent result cache's keys.
+     */
+    std::string canonical() const;
 
     /** Scale all work by a factor (machine scaling). */
     void scale(double factor);

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Hardening tests for the persistent result cache: truncated or
+ * garbage shard files must read as misses (never poisoned results or
+ * crashes) and be rewritten by the next store; stale-schema records
+ * must be evicted; and concurrent writers into the same shard must
+ * serialize into a parseable file.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/result_cache.h"
+#include "support/cache_test_util.h"
+
+namespace ubik {
+namespace {
+
+using test::TempCacheDir;
+using test::expectBitIdentical;
+
+MixRunResult
+sampleResult(double salt)
+{
+    MixRunResult r;
+    r.lcTailMean = 1000.0 + salt;
+    r.tailDegradation = 1.0 + salt / 7.0;
+    r.meanDegradation = 1.0 + salt / 11.0;
+    r.weightedSpeedup = 1.0 + salt / 13.0;
+    r.batchSpeedups = {salt, salt * 2, salt * 3};
+    r.ubikDeboosts = static_cast<std::uint64_t>(salt * 17);
+    return r;
+}
+
+/** The single shard file under `dir` (fails the test if != 1). */
+std::string
+onlyShardFile(const std::string &dir)
+{
+    std::vector<std::string> files;
+    for (const auto &e : std::filesystem::directory_iterator(dir))
+        files.push_back(e.path().string());
+    EXPECT_EQ(files.size(), 1u);
+    return files.empty() ? std::string() : files.front();
+}
+
+TEST(ResultCacheHardening, TruncatedShardIsAMissAndGetsRewritten)
+{
+    TempCacheDir dir("truncate");
+    const std::string key = "v1|hardening|truncate";
+    const MixRunResult r = sampleResult(3.5);
+    {
+        ResultCache cache(dir.path());
+        cache.storeMix(key, r);
+    }
+
+    // Chop the record's tail off, as a crashed or racing writer would.
+    std::string shard = onlyShardFile(dir.path());
+    ASSERT_FALSE(shard.empty());
+    auto size = std::filesystem::file_size(shard);
+    std::filesystem::resize_file(shard, size / 2);
+
+    {
+        ResultCache cache(dir.path());
+        EXPECT_FALSE(cache.loadMix(key).has_value());
+        EXPECT_GE(cache.stats().corrupt, 1u);
+        // The next store repairs the entry...
+        cache.storeMix(key, r);
+        ASSERT_TRUE(cache.loadMix(key).has_value());
+    }
+    // ...durably: a fresh instance reads it back bit-exactly.
+    ResultCache cache(dir.path());
+    auto loaded = cache.loadMix(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectBitIdentical(loaded->lcTailMean, r.lcTailMean, "lcTailMean",
+                       0);
+    EXPECT_EQ(loaded->batchSpeedups.size(), 3u);
+}
+
+TEST(ResultCacheHardening, GarbageLinesAreSkippedValidOnesKept)
+{
+    TempCacheDir dir("garbage");
+    const std::string key = "v1|hardening|garbage";
+    {
+        ResultCache cache(dir.path());
+        cache.storeMix(key, sampleResult(1.25));
+    }
+    std::string shard = onlyShardFile(dir.path());
+    ASSERT_FALSE(shard.empty());
+    {
+        // Garbage before and after: random bytes, a wrong-checksum
+        // record, and a half-record with no newline.
+        std::ofstream out(shard, std::ios::app | std::ios::binary);
+        out << "not a record at all\n";
+        out << "U1 1 m v1%7Cfake 0123456789abcdef,2,"
+               "0000000000000000,0000000000000000,0000000000000000,"
+               "0000000000000000,0000000000000000,0000000000000000 "
+               "ffffffffffffffff\n";
+        out << "U1 1 m v1%7Ctorn 00112233";
+    }
+    ResultCache cache(dir.path());
+    auto loaded = cache.loadMix(key);
+    ASSERT_TRUE(loaded.has_value()); // the good record survives
+    expectBitIdentical(loaded->tailDegradation,
+                       sampleResult(1.25).tailDegradation,
+                       "tailDegradation", 0);
+    EXPECT_GE(cache.stats().corrupt, 3u);
+    EXPECT_FALSE(cache.loadMix("v1|fake").has_value());
+}
+
+TEST(ResultCacheHardening, StaleSchemaRecordsAreEvictedNotServed)
+{
+    TempCacheDir dir("schema");
+    const std::string key = "v1|hardening|schema";
+    {
+        ResultCache cache(dir.path());
+        cache.storeMix(key, sampleResult(2.0));
+    }
+    // Rewrite the record's schema field to a version that never
+    // existed; the checksum intentionally covers only kind/key/payload
+    // so this reads as stale, not corrupt.
+    std::string shard = onlyShardFile(dir.path());
+    ASSERT_FALSE(shard.empty());
+    std::string content;
+    {
+        std::ifstream in(shard, std::ios::binary);
+        content.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+    }
+    const std::string cur =
+        "U1 " + std::to_string(kResultCacheSchemaVersion) + " ";
+    auto pos = content.find(cur);
+    ASSERT_NE(pos, std::string::npos);
+    content.replace(pos, cur.size(), "U1 999 ");
+    {
+        std::ofstream out(shard, std::ios::trunc | std::ios::binary);
+        out << content;
+    }
+
+    ResultCache cache(dir.path());
+    EXPECT_FALSE(cache.loadMix(key).has_value());
+    CacheStats st = cache.stats();
+    EXPECT_EQ(st.evicted, 1u);
+    EXPECT_EQ(st.corrupt, 0u);
+}
+
+TEST(ResultCacheHardening, ConcurrentStoresIntoOneShardSerialize)
+{
+    // Collect keys that all land in the same shard, then hammer that
+    // shard from four threads; every record must survive, parseable
+    // and bit-exact, in a fresh instance.
+    const std::size_t perThread = 10, threads = 4;
+    std::vector<std::string> keys;
+    std::size_t target = ResultCache::shardOf("v1|conc|0");
+    for (std::size_t i = 0; keys.size() < perThread * threads; i++) {
+        std::string k = "v1|conc|" + std::to_string(i);
+        if (ResultCache::shardOf(k) == target)
+            keys.push_back(k);
+    }
+
+    TempCacheDir dir("concurrent");
+    {
+        ResultCache cache(dir.path());
+        std::vector<std::thread> pool;
+        for (std::size_t t = 0; t < threads; t++)
+            pool.emplace_back([&, t] {
+                for (std::size_t i = 0; i < perThread; i++) {
+                    std::size_t k = t * perThread + i;
+                    cache.storeMix(keys[k],
+                                   sampleResult(static_cast<double>(k)));
+                }
+            });
+        for (auto &th : pool)
+            th.join();
+        EXPECT_EQ(cache.stats().stores, perThread * threads);
+    }
+
+    ResultCache cache(dir.path());
+    for (std::size_t k = 0; k < keys.size(); k++) {
+        auto loaded = cache.loadMix(keys[k]);
+        ASSERT_TRUE(loaded.has_value()) << keys[k];
+        expectBitIdentical(loaded->weightedSpeedup,
+                           sampleResult(static_cast<double>(k))
+                               .weightedSpeedup,
+                           "weightedSpeedup", k);
+    }
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST(ResultCacheHardening, ConcurrentSameKeyStoresStayConsistent)
+{
+    // All threads race to store the identical deterministic value
+    // under one key (what racing sweep processes do): the entry must
+    // stay unique in memory and clean on disk.
+    TempCacheDir dir("samekey");
+    const std::string key = "v1|hardening|samekey";
+    const MixRunResult r = sampleResult(9.75);
+    {
+        ResultCache cache(dir.path());
+        std::vector<std::thread> pool;
+        for (int t = 0; t < 8; t++)
+            pool.emplace_back([&] { cache.storeMix(key, r); });
+        for (auto &th : pool)
+            th.join();
+    }
+    ResultCache cache(dir.path());
+    auto loaded = cache.loadMix(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectBitIdentical(loaded->lcTailMean, r.lcTailMean, "lcTailMean",
+                       0);
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+} // namespace
+} // namespace ubik

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared fixtures for the persistent result-cache tests: a throwaway
+ * cache directory, bit-level MixRunResult comparison, and a small
+ * canonical sweep (2 schemes x 2 mixes x 2 seeds) cheap enough for
+ * unit-test sims.
+ */
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "sim/parallel_sweep.h"
+
+namespace ubik {
+namespace test {
+
+/** Unique cache directory under the system temp dir, removed on
+ *  destruction. */
+class TempCacheDir
+{
+  public:
+    explicit TempCacheDir(const char *tag)
+    {
+        static std::atomic<int> counter{0};
+        path_ = (std::filesystem::temp_directory_path() /
+                 (std::string("ubik_cache_test_") + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter.fetch_add(1))))
+                    .string();
+        std::filesystem::remove_all(path_);
+    }
+
+    ~TempCacheDir() { std::filesystem::remove_all(path_); }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Unit-test experiment scale (matches parallel_determinism_test). */
+inline ExperimentConfig
+cacheTestCfg()
+{
+    ExperimentConfig cfg;
+    cfg.scale = 16.0;
+    cfg.roiRequests = 30;
+    cfg.warmupRequests = 10;
+    cfg.seeds = 2;
+    cfg.mixesPerLc = 1;
+    return cfg;
+}
+
+/** An 8-job sweep: 2 schemes x 2 mixes x 2 seeds. */
+inline std::vector<SweepJob>
+cacheTestJobs()
+{
+    MixSpec a;
+    a.name = "specjbb-lo/nfs";
+    a.lc.app = lc_presets::specjbb();
+    a.lc.load = 0.2;
+    a.batch.name = "nfs";
+    a.batch.apps = {
+        batch_presets::make(BatchClass::Insensitive, 0),
+        batch_presets::make(BatchClass::Friendly, 1),
+        batch_presets::make(BatchClass::Streaming, 2),
+    };
+    MixSpec b = a;
+    b.name = "specjbb-lo/ffs";
+    b.batch.name = "ffs";
+    b.batch.apps[0] = batch_presets::make(BatchClass::Friendly, 3);
+
+    std::vector<SchemeUnderTest> schemes = {
+        {"StaticLC", SchemeKind::Vantage, ArrayKind::Z4_52,
+         PolicyKind::StaticLc, 0.0},
+        {"LRU", SchemeKind::SharedLru, ArrayKind::Z4_52,
+         PolicyKind::Lru, 0.0},
+    };
+    return buildSweepJobs(schemes, {a, b}, 2);
+}
+
+/** Byte-level equality: distinguishes -0.0/0.0 and any ULP drift. */
+inline void
+expectBitIdentical(double x, double y, const char *what, std::size_t i)
+{
+    std::uint64_t bx, by;
+    std::memcpy(&bx, &x, sizeof(bx));
+    std::memcpy(&by, &y, sizeof(by));
+    EXPECT_EQ(bx, by) << what << " differs at job " << i << ": " << x
+                      << " vs " << y;
+}
+
+inline void
+expectSameResults(const std::vector<MixRunResult> &a,
+                  const std::vector<MixRunResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); i++) {
+        expectBitIdentical(a[i].lcTailMean, b[i].lcTailMean,
+                           "lcTailMean", i);
+        expectBitIdentical(a[i].tailDegradation, b[i].tailDegradation,
+                           "tailDegradation", i);
+        expectBitIdentical(a[i].meanDegradation, b[i].meanDegradation,
+                           "meanDegradation", i);
+        expectBitIdentical(a[i].weightedSpeedup, b[i].weightedSpeedup,
+                           "weightedSpeedup", i);
+        ASSERT_EQ(a[i].batchSpeedups.size(), b[i].batchSpeedups.size());
+        for (std::size_t k = 0; k < a[i].batchSpeedups.size(); k++)
+            expectBitIdentical(a[i].batchSpeedups[k],
+                               b[i].batchSpeedups[k], "batchSpeedup",
+                               i);
+        EXPECT_EQ(a[i].ubikDeboosts, b[i].ubikDeboosts);
+        EXPECT_EQ(a[i].ubikDeadlineDeboosts, b[i].ubikDeadlineDeboosts);
+        EXPECT_EQ(a[i].ubikWatermarks, b[i].ubikWatermarks);
+    }
+}
+
+} // namespace test
+} // namespace ubik

@@ -21,6 +21,7 @@
 
 #include "sim/mix_runner.h"
 #include "sim/parallel_sweep.h"
+#include "sim/result_cache.h"
 #include "trace/csv.h"
 #include "workload/mix.h"
 #include "common/cli.h"
@@ -130,6 +131,15 @@ main(int argc, char **argv)
     auto &csv_prefix =
         cli.flag("csv-prefix", "",
                  "write <prefix>_alloc.csv and <prefix>_cdf.csv");
+    auto &cache_dir =
+        cli.flag("cache-dir", "",
+                 "persistent result cache directory (overrides "
+                 "UBIK_CACHE_DIR)");
+    auto &no_cache = cli.flag("no-cache", false,
+                              "ignore UBIK_CACHE_DIR / --cache-dir");
+    auto &cache_stats =
+        cli.flag("cache-stats", false,
+                 "print the cache hit/miss/evict summary");
     auto &verbose = cli.flag("verbose", false, "chatty progress output");
     cli.parse(argc, argv);
 
@@ -147,6 +157,10 @@ main(int argc, char **argv)
     ExperimentConfig cfg = ExperimentConfig::fromEnv();
     if (jobs.value > 0)
         cfg.jobs = static_cast<std::uint32_t>(jobs.value);
+    if (!cache_dir.value.empty())
+        cfg.cacheDir = cache_dir.value;
+    if (no_cache.value)
+        cfg.cacheDir.clear();
     cfg.printHeader("ubik_cli");
 
     SchemeUnderTest sut;
@@ -167,6 +181,8 @@ main(int argc, char **argv)
     spec.name = lc.value + "/" + batch.value;
 
     MixRunner runner(cfg, !inorder.value);
+    std::unique_ptr<ResultCache> cache = ResultCache::open(cfg.cacheDir);
+    runner.attachCache(cache.get());
     std::printf("running mix %s under %s (load %.2f, seed%s %lld",
                 spec.name.c_str(), sut.label.c_str(), load.value,
                 seeds.value > 1 ? "s" : "",
@@ -188,6 +204,7 @@ main(int argc, char **argv)
         sweep_jobs.push_back(std::move(j));
     }
     ParallelSweep engine(runner, cfg.jobs);
+    engine.attachCache(cache.get());
     std::vector<MixRunResult> all = engine.run(sweep_jobs);
     const MixRunResult &res = all.front();
 
@@ -256,6 +273,30 @@ main(int argc, char **argv)
         writeLatencyCdf(merged, csv_prefix.value + "_cdf.csv");
         std::printf("\nwrote %s_alloc.csv and %s_cdf.csv\n",
                     csv_prefix.value.c_str(), csv_prefix.value.c_str());
+    }
+
+    if (cache_stats.value) {
+        if (!cache) {
+            std::printf("\nResult cache: disabled (set UBIK_CACHE_DIR "
+                        "or --cache-dir)\n");
+        } else {
+            CacheStats st = cache->stats();
+            std::printf("\nResult cache (%s, schema v%u):\n",
+                        cache->dir().c_str(),
+                        kResultCacheSchemaVersion);
+            std::printf("  hits:    %llu (%llu mix runs)\n",
+                        static_cast<unsigned long long>(st.hits),
+                        static_cast<unsigned long long>(st.mixHits));
+            std::printf("  misses:  %llu (%llu mix runs)\n",
+                        static_cast<unsigned long long>(st.misses),
+                        static_cast<unsigned long long>(st.mixMisses));
+            std::printf("  stores:  %llu\n",
+                        static_cast<unsigned long long>(st.stores));
+            std::printf("  evicted: %llu stale (schema mismatch), "
+                        "%llu corrupt dropped\n",
+                        static_cast<unsigned long long>(st.evicted),
+                        static_cast<unsigned long long>(st.corrupt));
+        }
     }
     return 0;
 }
