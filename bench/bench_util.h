@@ -87,8 +87,9 @@ runCustomSweep(const ExperimentConfig &cfg,
             if (p.done % step == 0 || p.done == p.total)
                 std::fprintf(stderr,
                              "  [sweep] %zu/%zu runs done "
-                             "(%zu cached, %zu computed)\n",
-                             p.done, p.total, p.hits, p.computed);
+                             "(%zu cached, %zu computed, %.1fs)\n",
+                             p.done, p.total, p.hits, p.computed,
+                             p.elapsedSec);
         });
     if (cache)
         printCacheStats(*cache);

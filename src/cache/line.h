@@ -1,6 +1,15 @@
 /**
  * @file
- * Per-line metadata for the simulated LLC arrays.
+ * Per-line state for the simulated LLC arrays.
+ *
+ * The tag lives in a dense per-array Addr vector that only lookup()
+ * scans; everything else about a line sits in this one record,
+ * padded and aligned to a full host cache line. The split and the
+ * alignment follow the access patterns (see cache/array.h): tag
+ * probes are the only *sequential-ish* consumer (a set scan / W bank
+ * probes), while record accesses are random single-slot touches —
+ * hits, walks, and victim scans — where co-locating every field the
+ * simulator might need makes each touch exactly one host cache line.
  */
 
 #pragma once
@@ -10,24 +19,21 @@
 namespace ubik {
 
 /**
- * State of one cache line slot. Timestamps are full-width global
- * access counters (idealized LRU); real Vantage uses 8-bit coarse
- * timestamps, but that is a hardware-cost optimization that does not
- * change replacement behaviour at simulation granularity.
+ * State of one cache line slot (tag excluded; it lives in the dense
+ * tag array). Timestamps are full-width global access counters
+ * (idealized LRU); real Vantage uses 8-bit coarse timestamps, but
+ * that is a hardware-cost optimization that does not change
+ * replacement behaviour at simulation granularity.
+ *
+ * Padded to 64 bytes and 64-byte aligned: one record is one host
+ * cache line, so a replacement walk or victim scan touches exactly
+ * one line per candidate and a hit's bookkeeping writes land on the
+ * line the lookup already pulled in.
  */
-struct LineMeta
+struct alignas(64) LineMeta
 {
-    /** Line address; kInvalidAddr when the slot is empty. */
-    Addr addr = kInvalidAddr;
-
-    /** Owning partition. 0 is Vantage's unmanaged region. */
-    PartId part = 0;
-
     /** Global access counter at last touch (LRU ordering). */
     std::uint64_t lastTouch = 0;
-
-    /** App that inserted / last touched the line. */
-    AppId owner = 0;
 
     /**
      * Request id of the owning app when the line was last touched.
@@ -35,17 +41,37 @@ struct LineMeta
      */
     ReqId lastReqId = 0;
 
-    bool valid() const { return addr != kInvalidAddr; }
+    /** Owning partition. 0 is Vantage's unmanaged region. */
+    PartId part = 0;
+
+    /** App that inserted / last touched the line. */
+    AppId owner = 0;
+
+    /** Nonzero iff the slot holds a line (mirrors the tag array's
+     *  kInvalidAddr sentinel so scans never touch the tag array). */
+    std::uint32_t valid = 0;
+
+    /**
+     * Array-private acceleration state co-located with the fields
+     * replacement reads. The zcache caches the resident line's
+     * way-slot bank indices here (see ZCacheArray); the
+     * set-associative array leaves it zero.
+     */
+    std::uint32_t aux[4] = {0, 0, 0, 0};
 
     void
     clear()
     {
-        addr = kInvalidAddr;
-        part = 0;
         lastTouch = 0;
-        owner = 0;
         lastReqId = 0;
+        part = 0;
+        owner = 0;
+        valid = 0;
+        aux[0] = aux[1] = aux[2] = aux[3] = 0;
     }
 };
+
+static_assert(sizeof(LineMeta) == 64,
+              "LineMeta must pack to one host cache line");
 
 } // namespace ubik

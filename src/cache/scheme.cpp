@@ -12,6 +12,15 @@ PartitionScheme::PartitionScheme(std::unique_ptr<CacheArray> array,
       missCount_(num_partitions, 0)
 {
     ubik_assert(numParts_ >= 1);
+    // Note the concrete array type once; the hot path switches on it
+    // instead of paying a virtual dispatch per probe (see scheme.h).
+    if (auto *z = dynamic_cast<ZCacheArray *>(array_.get())) {
+        impl_ = ArrayImpl::ZCache;
+        zcImpl_ = z;
+    } else if (auto *s = dynamic_cast<SetAssocArray *>(array_.get())) {
+        impl_ = ArrayImpl::SetAssoc;
+        saImpl_ = s;
+    }
 }
 
 void
@@ -30,7 +39,7 @@ PartitionScheme::access(Addr addr, const AccessContext &ctx)
     accCount_[ctx.part]++;
 
     AccessOutcome out;
-    std::int64_t slot = array_->lookup(addr);
+    std::int64_t slot = arrayLookup(addr);
     if (slot >= 0) {
         LineMeta &line = array_->meta(static_cast<std::uint64_t>(slot));
         out.hit = true;
@@ -60,11 +69,12 @@ PartitionScheme::onHit(std::uint64_t slot, const AccessContext &ctx)
 }
 
 void
-PartitionScheme::noteEviction(const LineMeta &victim, AccessOutcome &out)
+PartitionScheme::noteEviction(std::uint64_t slot, AccessOutcome &out)
 {
-    if (!victim.valid())
+    if (!array_->validAt(slot))
         return;
-    out.victimAddr = victim.addr;
+    const LineMeta &victim = array_->meta(slot);
+    out.victimAddr = array_->addrAt(slot);
     out.victimPart = victim.part;
     ubik_assert(actual_[victim.part] > 0);
     actual_[victim.part]--;
@@ -108,27 +118,33 @@ std::uint64_t
 SharedLru::missInstall(Addr addr, const AccessContext &ctx,
                        AccessOutcome &out)
 {
-    array_->victimCandidates(addr, candScratch_);
-    ubik_assert(!candScratch_.empty());
-
-    // Globally oldest candidate; empty slots win outright.
+    // Globally oldest candidate; empty slots win outright. The
+    // selection is fused into the walk: the visitor fires per
+    // candidate in ascending order, so "first empty wins, else
+    // running strict-minimum" picks exactly the candidate the
+    // original post-walk scan did.
     std::size_t best = 0;
     std::uint64_t best_touch = ~0ull;
-    for (std::size_t i = 0; i < candScratch_.size(); i++) {
-        const LineMeta &line = array_->meta(candScratch_[i].slot);
-        if (!line.valid()) {
-            best = i;
-            best_touch = 0;
-            break;
-        }
-        if (line.lastTouch < best_touch) {
-            best_touch = line.lastTouch;
-            best = i;
-        }
-    }
+    bool found_empty = false;
+    arrayVictimsVisit(addr, candScratch_,
+                      [&](std::size_t i, const LineMeta &line) {
+                          if (found_empty)
+                              return;
+                          if (!line.valid) {
+                              best = i;
+                              best_touch = 0;
+                              found_empty = true;
+                              return;
+                          }
+                          if (line.lastTouch < best_touch) {
+                              best_touch = line.lastTouch;
+                              best = i;
+                          }
+                      });
+    ubik_assert(!candScratch_.empty());
 
-    noteEviction(array_->meta(candScratch_[best].slot), out);
-    std::uint64_t slot = array_->install(addr, candScratch_, best);
+    noteEviction(candScratch_[best].slot, out);
+    std::uint64_t slot = arrayInstall(addr, candScratch_, best);
     noteInstall(slot, ctx);
     return slot;
 }

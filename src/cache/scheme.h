@@ -8,6 +8,15 @@
  * (way-partitioning quantizes to ways), so partitioning policies (UCP,
  * StaticLC, OnOff, Ubik) are scheme-agnostic, as in the paper (§7.3
  * evaluates Ubik over multiple schemes).
+ *
+ * Dispatch: the per-access path (lookup, victim walk, install) is the
+ * simulator's hot loop, so it does not go through CacheArray's
+ * vtable. The scheme notes the concrete array type at construction
+ * and switches on it in the inline helpers below; both concrete
+ * arrays are `final` with inline probe paths, so the compiler
+ * resolves the calls statically and inlines the tag scans into every
+ * missInstall. The virtual CacheArray interface remains for tests and
+ * cold paths.
  */
 
 #pragma once
@@ -17,6 +26,8 @@
 #include <vector>
 
 #include "cache/array.h"
+#include "cache/set_assoc_array.h"
+#include "cache/zcache_array.h"
 #include "common/types.h"
 
 namespace ubik {
@@ -105,13 +116,94 @@ class PartitionScheme
     /** Scheme-specific hit bookkeeping (e.g., Vantage promotion). */
     virtual void onHit(std::uint64_t slot, const AccessContext &ctx);
 
-    /** Shared victim bookkeeping: sizes, counters, outcome fields. */
-    void noteEviction(const LineMeta &victim, AccessOutcome &out);
+    /** Shared victim bookkeeping: sizes, counters, outcome fields.
+     *  Reads the victim's tag + metadata still resident in `slot`. */
+    void noteEviction(std::uint64_t slot, AccessOutcome &out);
 
     /** Shared install bookkeeping for the newly resident line. */
     void noteInstall(std::uint64_t slot, const AccessContext &ctx);
 
+    // --- Devirtualized array dispatch (the per-access hot path) ----
+
+    /** Concrete type of array_, noted once at construction. */
+    enum class ArrayImpl : std::uint8_t
+    {
+        Generic, ///< unknown subclass: fall back to the vtable
+        SetAssoc,
+        ZCache,
+    };
+
+    std::int64_t
+    arrayLookup(Addr addr) const
+    {
+        switch (impl_) {
+          case ArrayImpl::SetAssoc:
+            return saImpl_->lookup(addr);
+          case ArrayImpl::ZCache:
+            return zcImpl_->lookup(addr);
+          default:
+            return array_->lookup(addr);
+        }
+    }
+
+    void
+    arrayVictims(Addr addr, std::vector<Candidate> &out) const
+    {
+        switch (impl_) {
+          case ArrayImpl::SetAssoc:
+            saImpl_->victimCandidates(addr, out);
+            return;
+          case ArrayImpl::ZCache:
+            zcImpl_->victimCandidates(addr, out);
+            return;
+          default:
+            array_->victimCandidates(addr, out);
+            return;
+        }
+    }
+
+    /**
+     * Victim walk with the scheme's selection scan fused in:
+     * visit(index, record) fires once per candidate in ascending
+     * order, while the walk still has the record in hand (zcache) or
+     * over the freshly filled candidate list (other arrays). The
+     * visitor must only read array state.
+     */
+    template <typename Visit>
+    void
+    arrayVictimsVisit(Addr addr, std::vector<Candidate> &out,
+                      Visit &&visit) const
+    {
+        if (impl_ == ArrayImpl::ZCache) {
+            zcImpl_->victimCandidatesVisit(addr, out,
+                                           std::forward<Visit>(visit));
+            return;
+        }
+        arrayVictims(addr, out);
+        const LineMeta *meta = array_->metaData();
+        for (std::size_t i = 0; i < out.size(); i++)
+            visit(i, meta[out[i].slot]);
+    }
+
+    std::uint64_t
+    arrayInstall(Addr addr, const std::vector<Candidate> &cands,
+                 std::size_t victim_idx)
+    {
+        switch (impl_) {
+          case ArrayImpl::SetAssoc:
+            return saImpl_->install(addr, cands, victim_idx);
+          case ArrayImpl::ZCache:
+            return zcImpl_->install(addr, cands, victim_idx);
+          default:
+            return array_->install(addr, cands, victim_idx);
+        }
+    }
+
     std::unique_ptr<CacheArray> array_;
+    ArrayImpl impl_ = ArrayImpl::Generic;
+    SetAssocArray *saImpl_ = nullptr; ///< set iff impl_ == SetAssoc
+    ZCacheArray *zcImpl_ = nullptr;   ///< set iff impl_ == ZCache
+
     std::uint32_t numParts_;
     std::uint64_t now_ = 0; ///< global access counter (LRU clock)
     std::vector<std::uint64_t> targets_;

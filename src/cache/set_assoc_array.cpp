@@ -4,58 +4,14 @@
 
 namespace ubik {
 
-namespace {
-
-/** Fibonacci-style 64-bit mix; good avalanche for index hashing. */
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
-
 SetAssocArray::SetAssocArray(std::uint64_t num_lines, std::uint32_t ways,
                              std::uint64_t hash_salt)
-    : ways_(ways), salt_(hash_salt)
+    : CacheArray(num_lines), ways_(ways), salt_(hash_salt)
 {
     if (ways == 0 || num_lines == 0 || num_lines % ways != 0)
         fatal("SetAssocArray: %lu lines not divisible into %u ways",
               static_cast<unsigned long>(num_lines), ways);
     sets_ = num_lines / ways;
-    lines_.resize(num_lines);
-}
-
-std::uint64_t
-SetAssocArray::setIndex(Addr addr) const
-{
-    return mix64(addr ^ salt_) % sets_;
-}
-
-std::int64_t
-SetAssocArray::lookup(Addr addr) const
-{
-    std::uint64_t base = setIndex(addr) * ways_;
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        if (lines_[base + w].addr == addr)
-            return static_cast<std::int64_t>(base + w);
-    }
-    return -1;
-}
-
-void
-SetAssocArray::victimCandidates(Addr addr,
-                                std::vector<Candidate> &out) const
-{
-    out.clear();
-    std::uint64_t base = setIndex(addr) * ways_;
-    for (std::uint32_t w = 0; w < ways_; w++)
-        out.push_back({base + w, -1});
 }
 
 std::uint64_t
@@ -64,16 +20,10 @@ SetAssocArray::install(Addr addr, const std::vector<Candidate> &cands,
 {
     ubik_assert(victim_idx < cands.size());
     std::uint64_t slot = cands[victim_idx].slot;
-    lines_[slot].clear();
-    lines_[slot].addr = addr;
+    tags_[slot] = addr;
+    meta_[slot].clear();
+    meta_[slot].valid = 1;
     return slot;
-}
-
-void
-SetAssocArray::flush()
-{
-    for (auto &line : lines_)
-        line.clear();
 }
 
 } // namespace ubik

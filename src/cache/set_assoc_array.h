@@ -2,6 +2,16 @@
  * @file
  * Conventional set-associative array (16- or 64-way in the paper's
  * Fig 13 sensitivity study; the private-LLC baseline also uses it).
+ *
+ * The class is final and its probe path (setIndex / lookup /
+ * victimCandidates) is defined inline here so the partition schemes'
+ * devirtualized dispatch (scheme.h) collapses to a straight-line tag
+ * scan. The set index is hashed once per access: lookup() memoizes
+ * the base slot of the address it probed, and the victim walk of the
+ * miss that follows reuses it instead of re-hashing. The memo is
+ * keyed on the address and the index is a pure function of (addr,
+ * salt), so a stale entry can never produce a wrong base — callers
+ * that skip lookup() (tests, benches) just recompute.
  */
 
 #pragma once
@@ -9,11 +19,12 @@
 #include <vector>
 
 #include "cache/array.h"
+#include "common/hash.h"
 
 namespace ubik {
 
 /** Set-associative array with a hashed index. */
-class SetAssocArray : public CacheArray
+class SetAssocArray final : public CacheArray
 {
   public:
     /**
@@ -26,31 +37,64 @@ class SetAssocArray : public CacheArray
     SetAssocArray(std::uint64_t num_lines, std::uint32_t ways,
                   std::uint64_t hash_salt = 0);
 
-    std::uint64_t numLines() const override { return lines_.size(); }
-    std::int64_t lookup(Addr addr) const override;
-    void victimCandidates(Addr addr,
-                          std::vector<Candidate> &out) const override;
+    std::int64_t
+    lookup(Addr addr) const override
+    {
+        std::uint64_t base = probeBase(addr);
+        const Addr *tags = tags_.data();
+        for (std::uint32_t w = 0; w < ways_; w++) {
+            if (tags[base + w] == addr)
+                return static_cast<std::int64_t>(base + w);
+        }
+        // Miss: the set's records are the victim candidates the
+        // scheme scans next; their lines are contiguous, one record
+        // each.
+        for (std::uint32_t w = 0; w < ways_; w++)
+            __builtin_prefetch(&meta_[base + w], 0, 3);
+        return -1;
+    }
+
+    void
+    victimCandidates(Addr addr, std::vector<Candidate> &out) const override
+    {
+        out.clear();
+        std::uint64_t base = probeBase(addr);
+        for (std::uint32_t w = 0; w < ways_; w++)
+            out.push_back({base + w, -1});
+    }
+
     std::uint64_t install(Addr addr, const std::vector<Candidate> &cands,
                           std::size_t victim_idx) override;
-    LineMeta &meta(std::uint64_t slot) override { return lines_[slot]; }
-    const LineMeta &
-    meta(std::uint64_t slot) const override
-    {
-        return lines_[slot];
-    }
     std::uint32_t associativity() const override { return ways_; }
-    void flush() override;
 
     std::uint64_t numSets() const { return sets_; }
 
     /** Set index for an address (exposed for way-partitioning tests). */
-    std::uint64_t setIndex(Addr addr) const;
+    std::uint64_t
+    setIndex(Addr addr) const
+    {
+        return mix64(addr ^ salt_) % sets_;
+    }
 
   private:
+    /** First slot of addr's set, hashed at most once per access. */
+    std::uint64_t
+    probeBase(Addr addr) const
+    {
+        if (probeAddr_ != addr) {
+            probeAddr_ = addr;
+            probeBase_ = setIndex(addr) * ways_;
+        }
+        return probeBase_;
+    }
+
     std::uint32_t ways_;
     std::uint64_t sets_;
     std::uint64_t salt_;
-    std::vector<LineMeta> lines_;
+
+    /** lookup()/victimCandidates() memo of the last probed address. */
+    mutable Addr probeAddr_ = kInvalidAddr;
+    mutable std::uint64_t probeBase_ = 0;
 };
 
 } // namespace ubik

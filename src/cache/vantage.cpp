@@ -42,83 +42,146 @@ Vantage::onHit(std::uint64_t slot, const AccessContext &ctx)
     }
 }
 
-void
-Vantage::demotePass(std::size_t max_demotions)
+std::size_t
+Vantage::demoteRound()
 {
-    // Feed the unmanaged region: repeatedly demote the oldest
-    // candidate line belonging to the partition with the largest
-    // excess over its effective target. This plays the role of
-    // Vantage's aperture mechanism at simulation granularity: demotion
-    // pressure scales with how far over target a partition is.
-    for (std::size_t round = 0; round < max_demotions; round++) {
-        if (actual_[0] >= unmanagedTarget_)
-            return;
-        std::size_t best = candScratch_.size();
-        std::int64_t best_excess = -1;
-        std::uint64_t best_touch = ~0ull;
-        for (std::size_t i = 0; i < candScratch_.size(); i++) {
-            const LineMeta &line = array_->meta(candScratch_[i].slot);
-            if (!line.valid() || line.part == 0)
-                continue;
-            std::int64_t excess =
-                static_cast<std::int64_t>(actual_[line.part]) -
-                static_cast<std::int64_t>(effTargets_[line.part]);
-            // Partitions at or over their effective target are
-            // demotable; only strictly-growing (under-target)
-            // partitions are protected. This mirrors Vantage's
-            // aperture: demotion pressure exists at the boundary,
-            // so sizes hover just below target and the unmanaged
-            // region never starves.
-            if (excess < 0)
-                continue;
-            if (excess > best_excess ||
-                (excess == best_excess && line.lastTouch < best_touch)) {
-                best_excess = excess;
-                best_touch = line.lastTouch;
-                best = i;
-            }
+    // Feed the unmanaged region: demote the oldest candidate line
+    // belonging to the partition with the largest excess over its
+    // effective target. This plays the role of Vantage's aperture
+    // mechanism at simulation granularity: demotion pressure scales
+    // with how far over target a partition is. Partitions at or over
+    // their effective target are demotable; only strictly-growing
+    // (under-target) partitions are protected, so sizes hover just
+    // below target and the unmanaged region never starves.
+    const LineMeta *meta = array_->metaData();
+    const std::size_t ncand = candScratch_.size();
+    std::size_t best = ncand;
+    std::int64_t best_excess = -1;
+    std::uint64_t best_touch = ~0ull;
+    for (std::size_t i = 0; i < ncand; i++) {
+        const LineMeta &line = meta[candScratch_[i].slot];
+        std::int64_t excess =
+            static_cast<std::int64_t>(actual_[line.part]) -
+            static_cast<std::int64_t>(effTargets_[line.part]);
+        bool better = line.valid != 0 && line.part != 0 &&
+                      excess >= 0 &&
+                      (excess > best_excess ||
+                       (excess == best_excess &&
+                        line.lastTouch < best_touch));
+        if (better) {
+            best = i;
+            best_excess = excess;
+            best_touch = line.lastTouch;
         }
-        if (best == candScratch_.size())
-            return; // no demotable candidate
-        LineMeta &line = array_->meta(candScratch_[best].slot);
-        actual_[line.part]--;
-        actual_[0]++;
-        line.part = 0;
-        demotions_++;
     }
+    if (best == ncand)
+        return ncand; // no demotable candidate
+    LineMeta &line = array_->meta(candScratch_[best].slot);
+    actual_[line.part]--;
+    actual_[0]++;
+    line.part = 0;
+    demotions_++;
+    return best;
 }
 
 std::uint64_t
 Vantage::missInstall(Addr addr, const AccessContext &ctx,
                      AccessOutcome &out)
 {
-    array_->victimCandidates(addr, candScratch_);
+    // The walk and the victim-selection scans are one fused pass: the
+    // visitor fires per candidate while the walk holds its record,
+    // accumulating everything the common miss needs — the first empty
+    // candidate, the first demotion round's target (most over-target,
+    // then oldest eligible line), and the oldest unmanaged candidate
+    // — instead of the three-to-four full re-scans the staged
+    // formulation performed. The staged semantics are reconstructed
+    // exactly below: an empty candidate discards the other
+    // accumulators unused (the staged code installed before scanning
+    // them), freshly demoted lines join the unmanaged choice by
+    // explicit (touch, index) comparison — precisely the order the
+    // original post-demotion scan selected by — and the rare second
+    // demotion round falls back to a real rescan.
+    constexpr std::size_t kNone = ~std::size_t(0);
+    std::size_t empty_best = kNone;
+    std::size_t demote_best = kNone;
+    std::int64_t demote_excess = -1;
+    std::uint64_t demote_touch = ~0ull;
+    std::size_t best = kNone;
+    std::uint64_t best_touch = ~0ull;
+    arrayVictimsVisit(
+        addr, candScratch_,
+        [&](std::size_t i, const LineMeta &line) {
+            if (!line.valid) {
+                if (empty_best == kNone)
+                    empty_best = i;
+                return;
+            }
+            std::int64_t excess =
+                static_cast<std::int64_t>(actual_[line.part]) -
+                static_cast<std::int64_t>(effTargets_[line.part]);
+            bool demotable = line.part != 0 && excess >= 0 &&
+                             (excess > demote_excess ||
+                              (excess == demote_excess &&
+                               line.lastTouch < demote_touch));
+            if (demotable) {
+                demote_best = i;
+                demote_excess = excess;
+                demote_touch = line.lastTouch;
+            }
+            bool unmanaged =
+                line.part == 0 && line.lastTouch < best_touch;
+            if (unmanaged) {
+                best = i;
+                best_touch = line.lastTouch;
+            }
+        });
     ubik_assert(!candScratch_.empty());
 
+    const LineMeta *meta = array_->metaData();
+    const std::size_t ncand = candScratch_.size();
+
     // Empty slots first: no eviction needed while the cache fills.
-    for (std::size_t i = 0; i < candScratch_.size(); i++) {
-        if (!array_->meta(candScratch_[i].slot).valid()) {
-            std::uint64_t slot = array_->install(addr, candScratch_, i);
-            noteInstall(slot, ctx);
-            return slot;
-        }
+    if (empty_best != kNone) {
+        std::uint64_t slot = arrayInstall(addr, candScratch_, empty_best);
+        noteInstall(slot, ctx);
+        return slot;
+    }
+    if (demote_best == kNone)
+        demote_best = ncand;
+    if (best == kNone)
+        best = ncand;
+
+    // Stage 1: demotions keep the unmanaged region fed (up to two
+    // rounds, exactly as the staged version ran demotePass(2)).
+    std::size_t d1 = ncand, d2 = ncand;
+    if (actual_[0] < unmanagedTarget_ && demote_best != ncand) {
+        LineMeta &line = array_->meta(candScratch_[demote_best].slot);
+        actual_[line.part]--;
+        actual_[0]++;
+        line.part = 0;
+        demotions_++;
+        d1 = demote_best;
+        if (actual_[0] < unmanagedTarget_)
+            d2 = demoteRound(); // rare second round: real rescan
     }
 
-    // Stage 1: demotions keep the unmanaged region fed.
-    demotePass(2);
-
-    // Stage 2: evict the oldest unmanaged candidate.
-    std::size_t best = candScratch_.size();
-    std::uint64_t best_touch = ~0ull;
-    for (std::size_t i = 0; i < candScratch_.size(); i++) {
-        const LineMeta &line = array_->meta(candScratch_[i].slot);
-        if (line.part != 0)
-            continue;
-        if (line.lastTouch < best_touch) {
-            best_touch = line.lastTouch;
-            best = i;
+    // Stage 2: evict the oldest unmanaged candidate. The fused scan
+    // above saw pre-demotion partitions, so fold the demoted
+    // candidates in by (touch, index) — lower touch wins, ties to
+    // the lower index, matching the original scan's strict-less
+    // ascending order.
+    auto consider = [&](std::size_t idx) {
+        if (idx == ncand)
+            return;
+        std::uint64_t touch = meta[candScratch_[idx].slot].lastTouch;
+        if (best == ncand || touch < best_touch ||
+            (touch == best_touch && idx < best)) {
+            best = idx;
+            best_touch = touch;
         }
-    }
+    };
+    consider(d1);
+    consider(d2);
 
     if (best == candScratch_.size()) {
         // No unmanaged candidate in this walk: demote-then-evict on
@@ -129,7 +192,7 @@ Vantage::missInstall(Addr addr, const AccessContext &ctx,
         std::int64_t best_excess = -1;
         best_touch = ~0ull;
         for (std::size_t i = 0; i < candScratch_.size(); i++) {
-            const LineMeta &line = array_->meta(candScratch_[i].slot);
+            const LineMeta &line = meta[candScratch_[i].slot];
             std::int64_t excess =
                 static_cast<std::int64_t>(actual_[line.part]) -
                 static_cast<std::int64_t>(effTargets_[line.part]);
@@ -160,7 +223,7 @@ Vantage::missInstall(Addr addr, const AccessContext &ctx,
         std::int64_t best_excess = std::numeric_limits<std::int64_t>::min();
         best_touch = ~0ull;
         for (std::size_t i = 0; i < candScratch_.size(); i++) {
-            const LineMeta &line = array_->meta(candScratch_[i].slot);
+            const LineMeta &line = meta[candScratch_[i].slot];
             std::int64_t excess =
                 static_cast<std::int64_t>(actual_[line.part]) -
                 static_cast<std::int64_t>(effTargets_[line.part]);
@@ -172,7 +235,7 @@ Vantage::missInstall(Addr addr, const AccessContext &ctx,
             }
         }
         forcedEvictions_++;
-        const LineMeta &victim = array_->meta(candScratch_[best].slot);
+        const LineMeta &victim = meta[candScratch_[best].slot];
         std::int64_t band = static_cast<std::int64_t>(
             std::max<std::uint64_t>(4, effTargets_[victim.part] / 64));
         if (best_excess < -band) {
@@ -182,8 +245,8 @@ Vantage::missInstall(Addr addr, const AccessContext &ctx,
     }
 
     ubik_assert(best < candScratch_.size());
-    noteEviction(array_->meta(candScratch_[best].slot), out);
-    std::uint64_t slot = array_->install(addr, candScratch_, best);
+    noteEviction(candScratch_[best].slot, out);
+    std::uint64_t slot = arrayInstall(addr, candScratch_, best);
     noteInstall(slot, ctx);
     return slot;
 }

@@ -70,9 +70,14 @@ class Vantage : public PartitionScheme
     void onHit(std::uint64_t slot, const AccessContext &ctx) override;
 
   private:
-    /** Demote up to max_demotions candidate lines from over-target
-     *  partitions into the unmanaged region. */
-    void demotePass(std::size_t max_demotions);
+    /**
+     * One demotion round over the current candidate set and state:
+     * demote the best (most over-target, then oldest) eligible line
+     * into the unmanaged region.
+     * @return index (into candScratch_) of the demoted candidate, or
+     *         candScratch_.size() if nothing was demotable.
+     */
+    std::size_t demoteRound();
 
     double unmanagedFrac_;
     std::uint64_t unmanagedTarget_;

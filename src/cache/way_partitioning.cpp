@@ -116,12 +116,13 @@ std::uint64_t
 WayPartitioning::missInstall(Addr addr, const AccessContext &ctx,
                              AccessOutcome &out)
 {
-    array_->victimCandidates(addr, candScratch_);
+    arrayVictims(addr, candScratch_);
     ubik_assert(candScratch_.size() == ways_);
 
     // LRU among the ways assigned to this partition. If the partition
     // currently owns no ways (e.g., an idle app with a zero target
     // that still issues a stray access), fall back to global LRU.
+    const LineMeta *meta = array_->metaData();
     std::size_t best = candScratch_.size();
     std::uint64_t best_touch = ~0ull;
     bool restricted = false;
@@ -129,21 +130,21 @@ WayPartitioning::missInstall(Addr addr, const AccessContext &ctx,
         if (wayOwner_[w] != ctx.part)
             continue;
         restricted = true;
-        const LineMeta &line = array_->meta(candScratch_[w].slot);
-        std::uint64_t touch = line.valid() ? line.lastTouch : 0;
+        const LineMeta &r = meta[candScratch_[w].slot];
+        std::uint64_t touch = r.valid ? r.lastTouch : 0;
         if (touch < best_touch || best == candScratch_.size()) {
             best_touch = touch;
             best = w;
         }
-        if (!line.valid())
+        if (!r.valid)
             break;
     }
     if (!restricted) {
         best = 0;
         best_touch = ~0ull;
         for (std::size_t w = 0; w < candScratch_.size(); w++) {
-            const LineMeta &line = array_->meta(candScratch_[w].slot);
-            std::uint64_t touch = line.valid() ? line.lastTouch : 0;
+            const LineMeta &r = meta[candScratch_[w].slot];
+            std::uint64_t touch = r.valid ? r.lastTouch : 0;
             if (touch < best_touch) {
                 best_touch = touch;
                 best = w;
@@ -151,13 +152,12 @@ WayPartitioning::missInstall(Addr addr, const AccessContext &ctx,
         }
     }
 
-    const LineMeta &victim = array_->meta(candScratch_[best].slot);
     // Evicting another partition's line from our way is how ways are
     // reclaimed after a reconfiguration; evicting our own is normal
     // replacement. Either way it is not a "forced" eviction in the
     // Vantage sense.
-    noteEviction(victim, out);
-    std::uint64_t slot = array_->install(addr, candScratch_, best);
+    noteEviction(candScratch_[best].slot, out);
+    std::uint64_t slot = arrayInstall(addr, candScratch_, best);
     noteInstall(slot, ctx);
     return slot;
 }

@@ -1,29 +1,16 @@
 #include "cache/zcache_array.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/log.h"
 
 namespace ubik {
 
-namespace {
-
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
-
 ZCacheArray::ZCacheArray(std::uint64_t num_lines, std::uint32_t ways,
                          std::uint32_t candidates, std::uint64_t hash_salt)
-    : ways_(ways), candidates_(candidates), salt_(hash_salt)
+    : CacheArray(num_lines), ways_(ways), candidates_(candidates),
+      salt_(hash_salt)
 {
     if (ways == 0 || num_lines == 0 || num_lines % ways != 0)
         fatal("ZCacheArray: %lu lines not divisible into %u ways",
@@ -31,79 +18,24 @@ ZCacheArray::ZCacheArray(std::uint64_t num_lines, std::uint32_t ways,
     if (candidates < ways)
         fatal("ZCacheArray: candidates (%u) < ways (%u)", candidates, ways);
     bankLines_ = num_lines / ways;
-    lines_.resize(num_lines);
-    stamp_.assign(num_lines, 0);
-}
-
-std::uint64_t
-ZCacheArray::waySlot(Addr addr, std::uint32_t way) const
-{
-    // Each way is an independent bank with its own hash (skewed
-    // associativity); fold the way id into the hash input. The bank
-    // index uses Lemire's multiplicative range reduction instead of
-    // a modulo: this is the simulator's hottest operation (4 per
-    // lookup, ~200 per replacement walk).
-    std::uint64_t h = mix64(addr ^ salt_ ^
-                            (0x9e3779b97f4a7c15ull * (way + 1)));
-    std::uint64_t bank_idx = static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(h) * bankLines_) >> 64);
-    return static_cast<std::uint64_t>(way) * bankLines_ + bank_idx;
-}
-
-std::int64_t
-ZCacheArray::lookup(Addr addr) const
-{
-    for (std::uint32_t w = 0; w < ways_; w++) {
-        std::uint64_t slot = waySlot(addr, w);
-        if (lines_[slot].addr == addr)
-            return static_cast<std::int64_t>(slot);
-    }
-    return -1;
+    std::uint32_t dedup_cap = 64;
+    while (dedup_cap < 4 * candidates)
+        dedup_cap *= 2;
+    dedup_.assign(dedup_cap, kDedupEmpty);
+    dedupMask_ = dedup_cap - 1;
+    probeSlots_.assign(ways, 0);
+    tagFp_.assign(num_lines, tagFingerprint(kInvalidAddr));
+    if (num_lines >= std::numeric_limits<std::uint32_t>::max())
+        fatal("ZCacheArray: %llu lines overflow the 32-bit way-slot "
+              "and walk-dedup tables",
+              static_cast<unsigned long long>(num_lines));
 }
 
 void
 ZCacheArray::victimCandidates(Addr addr, std::vector<Candidate> &out) const
 {
-    out.clear();
-    out.reserve(candidates_);
-
-    // Breadth-first walk: level 0 is the incoming address's own W
-    // positions; deeper levels are the alternative positions of the
-    // lines occupying earlier candidates. The generation stamp
-    // rejects duplicate slots (the walk graph can revisit) in O(1).
-    if (++walkGen_ == 0) { // wrapped: clear stale stamps
-        std::fill(stamp_.begin(), stamp_.end(), 0);
-        walkGen_ = 1;
-    }
-
-    auto push = [&](std::uint64_t slot, std::int32_t parent) -> bool {
-        if (stamp_[slot] == walkGen_)
-            return false;
-        stamp_[slot] = walkGen_;
-        out.push_back({slot, parent});
-        return true;
-    };
-
-    for (std::uint32_t w = 0; w < ways_ && out.size() < candidates_; w++)
-        push(waySlot(addr, w), -1);
-
-    // Expand in FIFO order; out itself is the queue.
-    for (std::size_t head = 0;
-         head < out.size() && out.size() < candidates_; head++) {
-        const LineMeta &line = lines_[out[head].slot];
-        if (!line.valid()) {
-            // Empty slot: nothing to relocate, no children.
-            continue;
-        }
-        std::uint64_t own = out[head].slot;
-        for (std::uint32_t w = 0;
-             w < ways_ && out.size() < candidates_; w++) {
-            std::uint64_t alt = waySlot(line.addr, w);
-            if (alt == own)
-                continue;
-            push(alt, static_cast<std::int32_t>(head));
-        }
-    }
+    victimCandidatesVisit(addr, out,
+                          [](std::size_t, const LineMeta &) {});
 }
 
 std::uint64_t
@@ -113,7 +45,8 @@ ZCacheArray::install(Addr addr, const std::vector<Candidate> &cands,
     ubik_assert(victim_idx < cands.size());
 
     // Collect the path victim -> root via parent links.
-    std::vector<std::size_t> path;
+    std::vector<std::size_t> &path = pathScratch_;
+    path.clear();
     std::int32_t node = static_cast<std::int32_t>(victim_idx);
     while (node >= 0) {
         path.push_back(static_cast<std::size_t>(node));
@@ -122,25 +55,49 @@ ZCacheArray::install(Addr addr, const std::vector<Candidate> &cands,
     // path = [victim, ..., root]; relocate each parent's line into its
     // child's slot, freeing the root slot for the new line. Moving
     // line(parent) -> slot(child) is legal by construction: child was
-    // generated as an alternative position of the line at parent.
+    // generated as an alternative position of the line at parent. The
+    // record's bank cache travels with the line.
     for (std::size_t i = 0; i + 1 < path.size(); i++) {
         std::uint64_t child_slot = cands[path[i]].slot;
         std::uint64_t parent_slot = cands[path[i + 1]].slot;
-        lines_[child_slot] = lines_[parent_slot];
-        lines_[parent_slot].clear();
+        tags_[child_slot] = tags_[parent_slot];
+        tagFp_[child_slot] = tagFp_[parent_slot];
+        meta_[child_slot] = meta_[parent_slot];
+        tags_[parent_slot] = kInvalidAddr;
+        tagFp_[parent_slot] = tagFingerprint(kInvalidAddr);
+        meta_[parent_slot].clear();
     }
 
     std::uint64_t root_slot = cands[path.back()].slot;
-    lines_[root_slot].clear();
-    lines_[root_slot].addr = addr;
+    tags_[root_slot] = addr;
+    tagFp_[root_slot] = tagFingerprint(addr);
+    LineMeta &r = meta_[root_slot];
+    r.clear();
+    r.valid = 1;
+    // Record the incoming line's way banks for future walks; the
+    // lookup that preceded this install usually hashed them already.
+    if (ways_ <= kAuxWays) {
+        if (probeAddr_ == addr) {
+            for (std::uint32_t w = 0; w < ways_; w++)
+                r.aux[w] = static_cast<std::uint32_t>(
+                    probeSlots_[w] -
+                    static_cast<std::uint64_t>(w) * bankLines_);
+        } else {
+            for (std::uint32_t w = 0; w < ways_; w++)
+                r.aux[w] = static_cast<std::uint32_t>(
+                    waySlot(addr, w) -
+                    static_cast<std::uint64_t>(w) * bankLines_);
+        }
+    }
     return root_slot;
 }
 
 void
 ZCacheArray::flush()
 {
-    for (auto &line : lines_)
-        line.clear();
+    CacheArray::flush();
+    std::fill(tagFp_.begin(), tagFp_.end(),
+              tagFingerprint(kInvalidAddr));
 }
 
 } // namespace ubik

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Precomputed divisibility test for a runtime-invariant divisor.
+ *
+ * The UMON sampling filter asks "is hash % denom == 0?" once per LLC
+ * access, and 767 of 768 answers are "no" at the paper's geometry. A
+ * hardware divide is the most expensive ALU operation on every host
+ * this runs on, so the check is rewritten with the standard
+ * multiply-by-inverse divisibility trick (Granlund–Montgomery;
+ * popularized by Lemire): factor denom = 2^k * m with m odd, then
+ *
+ *   n divisible by denom  <=>  (n & (2^k - 1)) == 0
+ *                              and (n >> k) * inv(m) <= (2^64 - 1) / m
+ *
+ * where inv(m) is m's multiplicative inverse mod 2^64. The result is
+ * bit-identical to the division-based check for every n, which the
+ * unit test (tests/common/fastdiv_test.cpp) verifies exhaustively
+ * against `%` over random and adversarial inputs.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace ubik {
+
+/** Divisibility-by-constant checker: divides(n) == (n % d == 0). */
+class DivisibilityChecker
+{
+  public:
+    explicit DivisibilityChecker(std::uint64_t d = 1) { reset(d); }
+
+    /** Re-target the checker at a new divisor. */
+    void
+    reset(std::uint64_t d)
+    {
+        ubik_assert(d > 0);
+        shift_ = 0;
+        while ((d & 1) == 0) {
+            d >>= 1;
+            shift_++;
+        }
+        mask_ = (1ull << shift_) - 1; // d > 0, so shift_ <= 63
+        // Newton–Raphson inverse of the odd part mod 2^64: each step
+        // doubles the number of correct low bits; 6 steps cover 64.
+        std::uint64_t inv = d;
+        for (int i = 0; i < 5; i++)
+            inv *= 2 - d * inv;
+        inv_ = inv;
+        thresh_ = ~0ull / d;
+    }
+
+    /** Exactly (n % original_d) == 0, with two multiplies and no
+     *  divide. */
+    bool
+    divides(std::uint64_t n) const
+    {
+        return (n & mask_) == 0 && (n >> shift_) * inv_ <= thresh_;
+    }
+
+  private:
+    std::uint32_t shift_ = 0; ///< trailing zero bits of the divisor
+    std::uint64_t mask_ = 0;  ///< 2^shift - 1
+    std::uint64_t inv_ = 1;   ///< inverse of the odd part mod 2^64
+    std::uint64_t thresh_ = ~0ull; ///< floor((2^64-1) / odd part)
+};
+
+} // namespace ubik

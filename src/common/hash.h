@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared integer hashing for the simulated-access hot path.
+ *
+ * Every placement decision in the simulator (set indices, zcache way
+ * slots, UMON sampling) funnels through this one mixer, which the
+ * arrays previously each duplicated in an anonymous namespace. It is
+ * part of the simulated behaviour: changing it changes placements and
+ * therefore every result, so it is pinned by the golden-determinism
+ * test (tests/sim/hotpath_golden_test.cpp).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace ubik {
+
+/** Fibonacci-style 64-bit mix (splitmix64 finalizer); good avalanche
+ *  for index hashing. */
+inline std::uint64_t
+mix64(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+/** FNV-1a offset basis (the conventional 64-bit seed). */
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/**
+ * Fold a 64-bit value into an FNV-1a digest, least-significant byte
+ * first. The throughput harness and the golden-determinism test both
+ * digest simulation state with this one definition, so their hashes
+ * stay comparable by construction.
+ */
+inline std::uint64_t
+fnv1a64(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; i++) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace ubik

@@ -2,24 +2,10 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace ubik {
-
-namespace {
-
-std::uint64_t
-mix64(std::uint64_t x)
-{
-    x ^= x >> 33;
-    x *= 0xff51afd7ed558ccdull;
-    x ^= x >> 33;
-    x *= 0xc4ceb9fe1a85ec53ull;
-    x ^= x >> 33;
-    return x;
-}
-
-} // namespace
 
 Umon::Umon(std::uint64_t cache_lines, std::uint32_t ways,
            std::uint32_t sets, std::uint64_t hash_salt)
@@ -32,6 +18,7 @@ Umon::Umon(std::uint64_t cache_lines, std::uint32_t ways,
     samplingDenom_ = std::max<std::uint64_t>(
         1, cache_lines / (static_cast<std::uint64_t>(sets) * ways));
     samplingFactor_ = static_cast<double>(samplingDenom_);
+    sampleFilter_.reset(samplingDenom_);
     tags_.assign(static_cast<std::size_t>(sets) * ways, kInvalidAddr);
     hitCounters_.assign(ways, 0);
 }
@@ -41,7 +28,9 @@ Umon::access(Addr addr)
 {
     UmonProbe probe;
     std::uint64_t h = mix64(addr ^ salt_);
-    if (h % samplingDenom_ != 0)
+    // Bit-identical to `h % samplingDenom_ != 0` without the divide;
+    // 767 of 768 probes end here (see common/fastdiv.h).
+    if (!sampleFilter_.divides(h))
         return probe;
     probe.sampled = true;
     sampledAccesses_++;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "mon/miss_curve.h"
+#include "common/fastdiv.h"
 #include "common/types.h"
 
 namespace ubik {
@@ -100,6 +101,14 @@ class Umon
     std::uint64_t linesPerWay_;
     std::uint64_t samplingDenom_;
     double samplingFactor_;
+
+    /**
+     * Precomputed filter equivalent to `hash % samplingDenom_ == 0`.
+     * Every LLC access probes the UMON but only 1 in samplingDenom_
+     * (paper: 768) is sampled, so the reject path — one hash, this
+     * check, return — must not pay a hardware divide.
+     */
+    DivisibilityChecker sampleFilter_;
 
     /** tags_[set * ways_ + pos]: LRU-ordered, front is MRU. */
     std::vector<Addr> tags_;

@@ -611,6 +611,17 @@ Cmp::run()
         batch_roi_accesses = std::max<std::uint64_t>(200000, lines * 16);
     }
 
+    // Heap over per-core next-event times. The two periodic timers
+    // stay outside it (two comparisons beat heap churn); ties keep
+    // the legacy precedence reconfig > trace > lowest core index.
+    {
+        std::vector<Cycles> times;
+        times.reserve(cores_.size());
+        for (const auto &core : cores_)
+            times.push_back(core->nextEvent);
+        events_.init(times);
+    }
+
     while (true) {
         // Earliest event across cores and timers.
         Cycles best = nextReconfig_;
@@ -619,11 +630,9 @@ Cmp::run()
             best = nextTrace_;
             which = -2;
         }
-        for (std::uint32_t c = 0; c < numCores(); c++) {
-            if (cores_[c]->nextEvent < best) {
-                best = cores_[c]->nextEvent;
-                which = static_cast<int>(c);
-            }
+        if (events_.topTime() < best) {
+            best = events_.topTime();
+            which = static_cast<int>(events_.topIndex());
         }
         now_ = best;
 
@@ -639,10 +648,14 @@ Cmp::run()
         } else if (which == -2) {
             doTrace();
             nextTrace_ += cfg_.traceInterval;
-        } else if (cores_[which]->isLc) {
-            serveLcEvent(static_cast<std::uint32_t>(which));
         } else {
-            serveBatchEvent(static_cast<std::uint32_t>(which));
+            std::uint32_t c = static_cast<std::uint32_t>(which);
+            if (cores_[c]->isLc)
+                serveLcEvent(c);
+            else
+                serveBatchEvent(c);
+            // Serving an event only reschedules the served core.
+            events_.update(c, cores_[c]->nextEvent);
         }
 
         if (batch_only) {

@@ -30,6 +30,7 @@
 #include "mem/memory_system.h"
 #include "policy/policy.h"
 #include "sim/core_model.h"
+#include "sim/event_queue.h"
 #include "stats/latency_recorder.h"
 #include "workload/batch_app.h"
 #include "workload/lc_app.h"
@@ -259,6 +260,10 @@ class Cmp
     Cycles nextReconfig_;
     Cycles nextTrace_;
     Cycles maxCycles_ = 0;
+
+    /** Per-core next-event times, kept heap-ordered so each event is
+     *  dequeued in O(log cores) instead of a scan (sim/event_queue.h). */
+    EventQueue events_;
 
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<AppMonitor> monitors_;

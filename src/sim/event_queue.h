@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Indexed min-heap over per-core next-event times.
+ *
+ * Cmp::run previously found the earliest event with a linear scan
+ * over all cores on every iteration — O(cores) per simulated event.
+ * This queue keeps (time, core) pairs in a binary heap with a
+ * position index so the served core's new event time is an O(log n)
+ * sift instead of a rescan.
+ *
+ * Determinism: ties are broken by the lower core index, which is
+ * exactly what the legacy strict-less-than scan over cores 0..N-1
+ * selected, so replacing the scan changes zero simulated behaviour
+ * (pinned by tests/sim/hotpath_golden_test.cpp; ordering unit-tested
+ * in tests/sim/event_queue_test.cpp).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace ubik {
+
+/** Min-heap of (event time, index) with O(log n) key updates. */
+class EventQueue
+{
+  public:
+    /** (Re)build the heap over `times[i]` for index i. */
+    void
+    init(const std::vector<Cycles> &times)
+    {
+        std::size_t n = times.size();
+        heap_.resize(n);
+        pos_.resize(n);
+        for (std::size_t i = 0; i < n; i++) {
+            heap_[i] = {times[i], static_cast<std::uint32_t>(i)};
+            pos_[i] = i;
+        }
+        // Bottom-up heapify.
+        for (std::size_t i = n / 2; i-- > 0;)
+            siftDown(i);
+    }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Earliest event time. */
+    Cycles topTime() const { return heap_[0].time; }
+
+    /** Index owning the earliest event (lowest index on ties). */
+    std::uint32_t topIndex() const { return heap_[0].idx; }
+
+    /** Change index idx's event time and restore heap order. */
+    void
+    update(std::uint32_t idx, Cycles t)
+    {
+        std::size_t i = pos_[idx];
+        ubik_assert(i < heap_.size() && heap_[i].idx == idx);
+        heap_[i].time = t;
+        if (!siftUp(i))
+            siftDown(i);
+    }
+
+  private:
+    struct Node
+    {
+        Cycles time;
+        std::uint32_t idx;
+    };
+
+    /** Heap order: earlier time first; lower index on equal times
+     *  (matches the legacy linear scan's first-strictly-smaller
+     *  selection). */
+    static bool
+    before(const Node &a, const Node &b)
+    {
+        return a.time < b.time || (a.time == b.time && a.idx < b.idx);
+    }
+
+    bool
+    siftUp(std::size_t i)
+    {
+        bool moved = false;
+        while (i > 0) {
+            std::size_t parent = (i - 1) / 2;
+            if (!before(heap_[i], heap_[parent]))
+                break;
+            swapNodes(i, parent);
+            i = parent;
+            moved = true;
+        }
+        return moved;
+    }
+
+    void
+    siftDown(std::size_t i)
+    {
+        for (;;) {
+            std::size_t l = 2 * i + 1, r = 2 * i + 2, best = i;
+            if (l < heap_.size() && before(heap_[l], heap_[best]))
+                best = l;
+            if (r < heap_.size() && before(heap_[r], heap_[best]))
+                best = r;
+            if (best == i)
+                return;
+            swapNodes(i, best);
+            i = best;
+        }
+    }
+
+    void
+    swapNodes(std::size_t a, std::size_t b)
+    {
+        std::swap(heap_[a], heap_[b]);
+        pos_[heap_[a].idx] = a;
+        pos_[heap_[b].idx] = b;
+    }
+
+    std::vector<Node> heap_;
+    std::vector<std::size_t> pos_; ///< pos_[idx] = heap slot of idx
+};
+
+} // namespace ubik

@@ -3,6 +3,7 @@
 #include "sim/result_cache.h"
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
@@ -71,6 +72,13 @@ ParallelSweep::run(
 {
     std::vector<MixRunResult> results(jobs.size());
 
+    const auto t0 = std::chrono::steady_clock::now();
+    auto elapsed = [t0]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+            .count();
+    };
+
     // Lookup-before-submit: hits fill their result slots directly and
     // drop out of the sweep; only misses are simulated (and their
     // baselines prewarmed), so a fully warm run performs zero mix
@@ -92,7 +100,7 @@ ParallelSweep::run(
             }
         }
         if (on_done && hits > 0)
-            on_done({hits, jobs.size(), hits, 0});
+            on_done({hits, jobs.size(), hits, 0, elapsed()});
     } else {
         missIdx.resize(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); i++)
@@ -116,7 +124,7 @@ ParallelSweep::run(
             cache_->storeMix(missKey[k], results[i]);
         std::size_t c = computed.fetch_add(1) + 1;
         if (on_done)
-            on_done({hits + c, jobs.size(), hits, c});
+            on_done({hits + c, jobs.size(), hits, c, elapsed()});
     });
     return results;
 }

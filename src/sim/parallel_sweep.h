@@ -52,6 +52,10 @@ struct SweepProgress
 
     /** Of `done`: actually simulated this run. */
     std::size_t computed = 0;
+
+    /** Wall-clock seconds since run() started (prewarm included);
+     *  purely informational — never part of any result. */
+    double elapsedSec = 0;
 };
 
 /** Executes SweepJob batches through a shared MixRunner. */

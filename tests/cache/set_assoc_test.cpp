@@ -35,7 +35,7 @@ TEST(SetAssocArray, InstallThenLookup)
     ASSERT_EQ(cands.size(), 16u);
     std::uint64_t slot = a.install(0x42, cands, 0);
     EXPECT_EQ(a.lookup(0x42), static_cast<std::int64_t>(slot));
-    EXPECT_EQ(a.meta(slot).addr, 0x42u);
+    EXPECT_EQ(a.addrAt(slot), 0x42u);
 }
 
 TEST(SetAssocArray, CandidatesAreTheAddressesSet)
@@ -69,7 +69,7 @@ TEST(SetAssocArray, InstallEvictsChosenVictim)
             a.victimCandidates(probe, cands);
             // Choose the first empty slot.
             for (std::size_t i = 0; i < cands.size(); i++) {
-                if (!a.meta(cands[i].slot).valid()) {
+                if (!a.validAt(cands[i].slot)) {
                     a.install(probe, cands, i);
                     break;
                 }
@@ -85,7 +85,7 @@ TEST(SetAssocArray, InstallEvictsChosenVictim)
     while (a.setIndex(probe) != set || a.lookup(probe) >= 0)
         probe++;
     a.victimCandidates(probe, cands);
-    Addr victim_addr = a.meta(cands[3].slot).addr;
+    Addr victim_addr = a.addrAt(cands[3].slot);
     a.install(probe, cands, 3);
     EXPECT_GE(a.lookup(probe), 0);
     EXPECT_LT(a.lookup(victim_addr), 0);
@@ -103,7 +103,7 @@ TEST(SetAssocArray, FlushEmptiesEverything)
     for (Addr x = 0; x < 100; x++)
         EXPECT_LT(a.lookup(x), 0);
     for (std::uint64_t s = 0; s < a.numLines(); s++)
-        EXPECT_FALSE(a.meta(s).valid());
+        EXPECT_FALSE(a.validAt(s));
 }
 
 TEST(SetAssocArray, SaltChangesMapping)
@@ -152,7 +152,7 @@ TEST_P(SetAssocWays, ResidencyNeverExceedsCapacity)
     }
     std::uint64_t valid = 0;
     for (std::uint64_t s = 0; s < a.numLines(); s++)
-        valid += a.meta(s).valid() ? 1 : 0;
+        valid += a.validAt(s) ? 1 : 0;
     EXPECT_LE(valid, a.numLines());
 }
 

@@ -210,7 +210,7 @@ TEST_P(VantageParts, SizesAccountedExactly)
         sum += v.actualSize(p);
     std::uint64_t resident = 0;
     for (std::uint64_t s = 0; s < v.array().numLines(); s++)
-        resident += v.array().meta(s).valid() ? 1 : 0;
+        resident += v.array().validAt(s) ? 1 : 0;
     EXPECT_EQ(sum, resident);
 }
 

@@ -97,7 +97,7 @@ TEST(ZCacheArray, RelocationsPreserveResidency)
         // Deliberately choose the *deepest* candidate to exercise the
         // longest relocation chains.
         std::size_t victim_idx = cands.size() - 1;
-        Addr victim = a.meta(cands[victim_idx].slot).addr;
+        Addr victim = a.addrAt(cands[victim_idx].slot);
         a.install(addr, cands, victim_idx);
         if (victim != kInvalidAddr)
             resident.erase(victim);
@@ -128,8 +128,8 @@ TEST(ZCacheArray, NoDuplicateResidentAddresses)
     }
     std::map<Addr, int> seen;
     for (std::uint64_t s = 0; s < a.numLines(); s++)
-        if (a.meta(s).valid())
-            seen[a.meta(s).addr]++;
+        if (a.validAt(s))
+            seen[a.addrAt(s)]++;
     for (const auto &[addr, n] : seen)
         EXPECT_EQ(n, 1) << "address " << addr << " resident twice";
 }
@@ -159,7 +159,7 @@ TEST(ZCacheArray, FlushEmptiesEverything)
     }
     a.flush();
     for (std::uint64_t s = 0; s < a.numLines(); s++)
-        EXPECT_FALSE(a.meta(s).valid());
+        EXPECT_FALSE(a.validAt(s));
 }
 
 class ZCacheStress
@@ -184,7 +184,7 @@ TEST_P(ZCacheStress, LookupAlwaysFindsLastInstall)
         a.victimCandidates(addr, cands);
         std::uint64_t slot = a.install(addr, cands, x % cands.size());
         ASSERT_EQ(a.lookup(addr), static_cast<std::int64_t>(slot));
-        ASSERT_EQ(a.meta(slot).addr, addr);
+        ASSERT_EQ(a.addrAt(slot), addr);
     }
 }
 

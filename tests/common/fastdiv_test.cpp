@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Tests for the precomputed divisibility checker that fronts the
+ * UMON sampling filter. The checker must agree with `%` on every
+ * input — a single disagreement would silently change which
+ * addresses the UMON samples and therefore every miss curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/fastdiv.h"
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace ubik {
+namespace {
+
+TEST(DivisibilityChecker, AgreesWithModuloOnSmallDivisors)
+{
+    for (std::uint64_t d = 1; d <= 1024; d++) {
+        DivisibilityChecker chk(d);
+        for (std::uint64_t n = 0; n < 4 * d + 8; n++)
+            ASSERT_EQ(chk.divides(n), n % d == 0)
+                << "n=" << n << " d=" << d;
+    }
+}
+
+TEST(DivisibilityChecker, AgreesWithModuloOnRandomInputs)
+{
+    Rng rng(0xfa57d1f);
+    // Divisor shapes that matter: pure powers of two, odd, and the
+    // mixed 2^k * odd form the UMON geometry produces (768 = 2^8*3).
+    const std::uint64_t divisors[] = {
+        1,   2,   3,    5,    7,   8,    12,  64,   96,
+        768, 769, 1000, 4096, 768 * 1024ull, (1ull << 63),
+        (1ull << 63) + 1,     0xff51afd7ed558ccdull,
+    };
+    for (std::uint64_t d : divisors) {
+        DivisibilityChecker chk(d);
+        for (int i = 0; i < 20000; i++) {
+            std::uint64_t n = rng.next();
+            ASSERT_EQ(chk.divides(n), n % d == 0)
+                << "n=" << n << " d=" << d;
+            // Force the true side too: random n is almost never
+            // divisible by a large d.
+            std::uint64_t m = n - n % d;
+            ASSERT_EQ(chk.divides(m), true) << "m=" << m << " d=" << d;
+        }
+    }
+}
+
+TEST(DivisibilityChecker, MatchesUmonSamplingPredicate)
+{
+    // The exact predicate Umon::access evaluates, at paper geometry:
+    // sampled iff mix64(addr ^ salt) % 768 == 0, 768 = 12MB lines /
+    // (32 ways * 8 sets).
+    const std::uint64_t denom = 196608 / (32 * 8);
+    ASSERT_EQ(denom, 768u);
+    DivisibilityChecker chk(denom);
+    Rng rng(42);
+    std::uint64_t sampled = 0;
+    for (int i = 0; i < 200000; i++) {
+        std::uint64_t h = mix64(rng.next() ^ 0xabcdull);
+        bool want = h % denom == 0;
+        ASSERT_EQ(chk.divides(h), want);
+        sampled += want ? 1 : 0;
+    }
+    // Sanity: the filter accepts roughly 1/768 of hashes.
+    EXPECT_GT(sampled, 100u);
+    EXPECT_LT(sampled, 500u);
+}
+
+TEST(DivisibilityChecker, ResetRetargets)
+{
+    DivisibilityChecker chk(7);
+    EXPECT_TRUE(chk.divides(21));
+    EXPECT_FALSE(chk.divides(22));
+    chk.reset(11);
+    EXPECT_TRUE(chk.divides(22));
+    EXPECT_FALSE(chk.divides(21));
+}
+
+} // namespace
+} // namespace ubik

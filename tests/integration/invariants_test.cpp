@@ -77,7 +77,7 @@ TEST_P(FullStackInvariants, ResidencyNeverExceedsCapacity)
     PartitionScheme &s = cmp_->scheme();
     std::uint64_t resident = 0;
     for (std::uint64_t slot = 0; slot < s.array().numLines(); slot++)
-        resident += s.array().meta(slot).valid() ? 1 : 0;
+        resident += s.array().validAt(slot) ? 1 : 0;
     EXPECT_LE(resident, s.array().numLines());
     // Per-partition actual sizes must sum to exactly the residents.
     std::uint64_t sum = 0;
@@ -91,7 +91,7 @@ TEST_P(FullStackInvariants, OwnerCountsSumToResidency)
     PartitionScheme &s = cmp_->scheme();
     std::uint64_t resident = 0;
     for (std::uint64_t slot = 0; slot < s.array().numLines(); slot++)
-        resident += s.array().meta(slot).valid() ? 1 : 0;
+        resident += s.array().validAt(slot) ? 1 : 0;
     std::uint64_t owners = 0;
     for (AppId a = 0; a < s.numPartitions(); a++)
         owners += s.ownerLines(a);

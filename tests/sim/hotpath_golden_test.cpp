@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Golden-determinism test for the hot-path access engine.
+ *
+ * Runs a small fixed-seed mix under one scheme per (scheme kind x
+ * array kind x policy family) and checksums every MixRunResult field
+ * at bit granularity against values pinned BEFORE the SoA /
+ * devirtualization refactor of the access engine. If any of the
+ * layout, dispatch, hashing, event-queue, or UMON-filter
+ * optimizations changes a single bit of simulated behaviour, these
+ * checksums move and this test fails.
+ *
+ * The same checksums are asserted through the parallel engine at
+ * several worker counts and through a cold and a warm persistent
+ * result cache, so the pinned values also anchor the ResultCache
+ * schema: a key/value field moving without a schema bump would
+ * surface here as a stale hit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "support/cache_test_util.h"
+
+#include "common/hash.h"
+
+#include "sim/result_cache.h"
+
+namespace ubik {
+namespace {
+
+std::uint64_t
+fnvDouble(std::uint64_t h, double d)
+{
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(d), "double width");
+    std::memcpy(&bits, &d, sizeof(bits));
+    return fnv1a64(h, bits);
+}
+
+/** Bit-exact digest of every MixRunResult field, declaration order. */
+std::uint64_t
+resultChecksum(const MixRunResult &r)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    h = fnvDouble(h, r.lcTailMean);
+    h = fnvDouble(h, r.tailDegradation);
+    h = fnvDouble(h, r.meanDegradation);
+    h = fnvDouble(h, r.weightedSpeedup);
+    h = fnv1a64(h, r.batchSpeedups.size());
+    for (double s : r.batchSpeedups)
+        h = fnvDouble(h, s);
+    h = fnv1a64(h, r.ubikDeboosts);
+    h = fnv1a64(h, r.ubikDeadlineDeboosts);
+    h = fnv1a64(h, r.ubikWatermarks);
+    return h;
+}
+
+/** Fixed unit-test scale; independent of the environment. */
+ExperimentConfig
+goldenCfg()
+{
+    ExperimentConfig cfg;
+    cfg.scale = 16.0;
+    cfg.roiRequests = 30;
+    cfg.warmupRequests = 10;
+    cfg.seeds = 1;
+    cfg.mixesPerLc = 1;
+    cfg.cacheDir.clear();
+    return cfg;
+}
+
+MixSpec
+goldenMix()
+{
+    MixSpec m;
+    m.name = "specjbb-lo/nfs";
+    m.lc.app = lc_presets::specjbb();
+    m.lc.load = 0.2;
+    m.batch.name = "nfs";
+    m.batch.apps = {
+        batch_presets::make(BatchClass::Insensitive, 0),
+        batch_presets::make(BatchClass::Friendly, 1),
+        batch_presets::make(BatchClass::Streaming, 2),
+    };
+    return m;
+}
+
+/** One scheme per hot-path flavour: every array kind, every
+ *  missInstall implementation, and the Ubik/UMON policy path. */
+std::vector<SchemeUnderTest>
+goldenSchemes()
+{
+    return {
+        {"Ubik", SchemeKind::Vantage, ArrayKind::Z4_52,
+         PolicyKind::Ubik, 0.05},
+        {"StaticLC-SA16", SchemeKind::Vantage, ArrayKind::SA16,
+         PolicyKind::StaticLc, 0.0},
+        {"LRU", SchemeKind::SharedLru, ArrayKind::Z4_52,
+         PolicyKind::Lru, 0.0},
+        {"UCP-WP", SchemeKind::WayPart, ArrayKind::SA16,
+         PolicyKind::Ucp, 0.0},
+        {"OnOff-SA64", SchemeKind::Vantage, ArrayKind::SA64,
+         PolicyKind::OnOff, 0.0},
+    };
+}
+
+/**
+ * Pinned pre-refactor checksums, one per goldenSchemes() entry, from
+ * the seed AoS/virtual-dispatch engine (commit fd2a3f3) at the
+ * goldenCfg() scale with seed 1. Regenerating them requires a
+ * deliberate decision that simulated behaviour may change — together
+ * with a ResultCache schema-version bump if any MixRunResult or key
+ * field moved.
+ */
+const std::uint64_t kGolden[5] = {
+    0x3cacc7cf743fcd74ull, // Ubik
+    0x1bc5e29d9a1fdff6ull, // StaticLC-SA16
+    0xa9950f1db31311c2ull, // LRU
+    0xd07bbd5659125ac4ull, // UCP-WP
+    0xd966d5c5d3a1d932ull, // OnOff-SA64
+};
+
+std::vector<SweepJob>
+goldenJobs()
+{
+    return buildSweepJobs(goldenSchemes(), {goldenMix()}, 1);
+}
+
+void
+expectGolden(const std::vector<MixRunResult> &results, const char *tag)
+{
+    auto schemes = goldenSchemes();
+    ASSERT_EQ(results.size(), schemes.size());
+    for (std::size_t i = 0; i < results.size(); i++) {
+        std::uint64_t sum = resultChecksum(results[i]);
+        EXPECT_EQ(sum, kGolden[i])
+            << tag << ": scheme " << schemes[i].label
+            << " produced checksum 0x" << std::hex << sum
+            << " (pinned 0x" << kGolden[i] << std::dec << ")";
+    }
+}
+
+TEST(HotpathGolden, SequentialMatchesPinnedChecksums)
+{
+    MixRunner runner(goldenCfg());
+    ParallelSweep engine(runner, /*workers=*/1);
+    std::vector<MixRunResult> results = engine.run(goldenJobs());
+    for (std::size_t i = 0; i < results.size(); i++)
+        std::printf("[golden] %-14s 0x%016llx\n",
+                    goldenSchemes()[i].label.c_str(),
+                    static_cast<unsigned long long>(
+                        resultChecksum(results[i])));
+    expectGolden(results, "sequential");
+}
+
+TEST(HotpathGolden, ParallelColdAndWarmCacheMatchPinnedChecksums)
+{
+    test::TempCacheDir dir("hotpath_golden");
+
+    {
+        // Cold cache, parallel workers.
+        auto cache = ResultCache::open(dir.path());
+        ASSERT_NE(cache, nullptr);
+        MixRunner runner(goldenCfg());
+        runner.attachCache(cache.get());
+        ParallelSweep engine(runner, /*workers=*/4);
+        engine.attachCache(cache.get());
+        expectGolden(engine.run(goldenJobs()), "parallel cold");
+    }
+    {
+        // Warm cache, different worker count: every job must be a
+        // cache hit and still reproduce the pinned pre-refactor bits.
+        auto cache = ResultCache::open(dir.path());
+        ASSERT_NE(cache, nullptr);
+        MixRunner runner(goldenCfg());
+        runner.attachCache(cache.get());
+        ParallelSweep engine(runner, /*workers=*/2);
+        engine.attachCache(cache.get());
+        expectGolden(engine.run(goldenJobs()), "warm");
+        EXPECT_EQ(cache->stats().mixHits, goldenJobs().size());
+        EXPECT_EQ(cache->stats().mixMisses, 0u);
+    }
+}
+
+} // namespace
+} // namespace ubik
