@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Trace-ingestion throughput harness: raw decoded accesses/sec.
+ *
+ * Trace-driven evaluation is bounded by how fast `.ubtr` records can
+ * be turned into addresses, the way sweep speed is bounded by the
+ * per-access engine (bench/perf_hotpath.cpp). This harness captures a
+ * synthetic LC trace once, serializes it as both format versions, and
+ * times every ingestion path end to end:
+ *
+ *   read/v1/whole       legacy flat format through readTrace()
+ *   read/v2/whole       chunked v2 through readTrace()
+ *   stream/v2/sync      TraceReader, batched, no prefetch thread
+ *   stream/v2/prefetch  TraceReader, batched, prefetch thread on
+ *   stream/v2/b4k       small (4096-record) batches, prefetch on
+ *   analyze/v2/stream   full Mattson pass over the stream
+ *
+ * Each path runs twice: "cold" after dropping the file's page-cache
+ * pages (posix_fadvise(DONTNEED), best-effort — if the kernel
+ * declines, cold converges to warm) and "warm" immediately after, so
+ * the JSON separates disk-bound from decode-bound throughput. The
+ * decoded record stream's content hash is printed per row and must be
+ * identical across every path, version, batch size, and prefetch
+ * setting — the determinism the replay-fidelity tests pin, visible in
+ * the perf artifact. Results land in BENCH_trace.json; the committed
+ * copy at the repo root is the current trajectory point and CI
+ * uploads each run's JSON.
+ */
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "trace/access_trace.h"
+#include "trace/trace_analyzer.h"
+#include "trace/trace_reader.h"
+#include "workload/trace_app.h"
+#include "workload/trace_capture.h"
+#include "common/cli.h"
+#include "common/log.h"
+
+namespace {
+
+using namespace ubik;
+
+struct Row
+{
+    std::string label;
+    double coldSec = 0;
+    double warmSec = 0;
+    double coldAccPerSec = 0;
+    double warmAccPerSec = 0;
+    double warmMbPerSec = 0;
+    std::uint64_t contentHash = 0;
+};
+
+/** Best-effort page-cache eviction for one file. */
+void
+dropPageCache(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return;
+    ::fsync(fd); // dirty pages cannot be dropped
+#ifdef POSIX_FADV_DONTNEED
+    ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+#endif
+    ::close(fd);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Time one ingestion pass; returns (elapsed, content hash). */
+template <typename Fn>
+std::pair<double, std::uint64_t>
+timed(Fn &&fn)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t hash = fn();
+    return {secondsSince(t0), hash};
+}
+
+template <typename Fn>
+Row
+measure(const std::string &label, const std::string &path,
+        std::uint64_t accesses, Fn &&fn)
+{
+    Row r;
+    r.label = label;
+    dropPageCache(path);
+    auto [coldSec, coldHash] = timed(fn);
+    auto [warmSec, warmHash] = timed(fn);
+    if (coldHash != warmHash)
+        fatal("%s: cold/warm content hashes differ (%016" PRIx64
+              " vs %016" PRIx64 ")",
+              label.c_str(), coldHash, warmHash);
+    r.coldSec = coldSec;
+    r.warmSec = warmSec;
+    r.contentHash = warmHash;
+    double n = static_cast<double>(accesses);
+    r.coldAccPerSec = coldSec > 0 ? n / coldSec : 0;
+    r.warmAccPerSec = warmSec > 0 ? n / warmSec : 0;
+    std::error_code ec;
+    auto bytes = std::filesystem::file_size(path, ec);
+    r.warmMbPerSec =
+        !ec && warmSec > 0
+            ? static_cast<double>(bytes) / warmSec / 1e6
+            : 0;
+    return r;
+}
+
+std::uint64_t
+drainReader(const std::string &path, TraceReaderOptions opt)
+{
+    TraceReader reader(path, opt);
+    TraceBatch batch;
+    while (reader.next(batch)) {
+    }
+    return reader.contentHash();
+}
+
+void
+writeJson(const std::string &path, const std::vector<Row> &rows,
+          std::uint64_t requests, std::uint64_t accesses,
+          std::uint64_t v1Bytes, std::uint64_t v2Bytes,
+          std::uint64_t seed)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", path.c_str());
+    std::fprintf(f, "{\n  \"benchmark\": \"trace\",\n");
+    std::fprintf(f, "  \"requests\": %" PRIu64 ",\n", requests);
+    std::fprintf(f, "  \"accesses\": %" PRIu64 ",\n", accesses);
+    std::fprintf(f, "  \"v1_bytes\": %" PRIu64 ",\n", v1Bytes);
+    std::fprintf(f, "  \"v2_bytes\": %" PRIu64 ",\n", v2Bytes);
+    std::fprintf(f, "  \"seed\": %" PRIu64 ",\n", seed);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); i++) {
+        const Row &r = rows[i];
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", "
+            "\"cold_accesses_per_sec\": %.1f, "
+            "\"warm_accesses_per_sec\": %.1f, "
+            "\"cold_sec\": %.6f, \"warm_sec\": %.6f, "
+            "\"warm_mb_per_sec\": %.2f, "
+            "\"content_hash\": \"%016" PRIx64 "\"}%s\n",
+            r.label.c_str(), r.coldAccPerSec, r.warmAccPerSec,
+            r.coldSec, r.warmSec, r.warmMbPerSec, r.contentHash,
+            i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("perf_trace",
+            "Measure trace-ingestion throughput (accesses/sec, cold "
+            "vs warmed page cache; writes BENCH_trace.json)");
+    auto &accesses =
+        cli.flag("accesses", static_cast<std::int64_t>(2000000),
+                 "approximate accesses in the generated trace");
+    auto &seed = cli.flag("seed", static_cast<std::int64_t>(1),
+                          "capture seed");
+    auto &out = cli.flag("out", "BENCH_trace.json",
+                         "output JSON path");
+    auto &analyze = cli.flag("analyze", false,
+                             "also time the full Mattson analysis "
+                             "pass (slow on large traces)");
+    cli.parse(argc, argv);
+
+    if (accesses.value < 1000)
+        fatal("need --accesses >= 1000");
+
+    // One capture shared by every row: specjbb at the default scale —
+    // short requests, so the stream carries realistic REQUEST-record
+    // density (~1:1000), plus skewed addresses for the delta coder.
+    LcAppParams params = lc_presets::specjbb().scaled(8.0);
+    double accPerReq =
+        params.work.mean() * params.apki / 1000.0;
+    std::uint64_t nreq = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(accesses.value) / accPerReq));
+    TraceData td = captureLcTrace(
+        params, nreq, static_cast<std::uint64_t>(seed.value));
+
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "ubik_perf_trace")
+            .string();
+    std::filesystem::create_directories(dir);
+    std::string v1Path = dir + "/perf.v1.ubtr";
+    std::string v2Path = dir + "/perf.v2.ubtr";
+    writeTrace(td, v1Path, TraceWriterOptions{1, 64 << 10});
+    writeTrace(td, v2Path);
+    std::uint64_t v1Bytes = std::filesystem::file_size(v1Path);
+    std::uint64_t v2Bytes = std::filesystem::file_size(v2Path);
+    std::uint64_t nacc = td.accesses.size();
+
+    std::printf("# perf_trace: %" PRIu64 " requests, %" PRIu64
+                " accesses; v1 %.1f MB, v2 %.1f MB (%.2f B/access)\n",
+                static_cast<std::uint64_t>(td.requests()), nacc,
+                static_cast<double>(v1Bytes) / 1e6,
+                static_cast<double>(v2Bytes) / 1e6,
+                static_cast<double>(v2Bytes) /
+                    static_cast<double>(nacc));
+    std::printf("%-20s %14s %14s %10s %18s\n", "config",
+                "cold acc/s", "warm acc/s", "warm MB/s", "content hash");
+
+    std::vector<Row> rows;
+    auto addRow = [&](Row r) {
+        std::printf("%-20s %14.0f %14.0f %10.1f   %016" PRIx64 "\n",
+                    r.label.c_str(), r.coldAccPerSec, r.warmAccPerSec,
+                    r.warmMbPerSec, r.contentHash);
+        rows.push_back(std::move(r));
+    };
+
+    addRow(measure("read/v1/whole", v1Path, nacc, [&] {
+        return traceContentHash(readTrace(v1Path));
+    }));
+    addRow(measure("read/v2/whole", v2Path, nacc, [&] {
+        return traceContentHash(readTrace(v2Path));
+    }));
+    TraceReaderOptions sync;
+    sync.prefetch = false;
+    addRow(measure("stream/v2/sync", v2Path, nacc,
+                   [&] { return drainReader(v2Path, sync); }));
+    addRow(measure("stream/v2/prefetch", v2Path, nacc,
+                   [&] { return drainReader(v2Path, {}); }));
+    TraceReaderOptions small;
+    small.batchRecords = 4096;
+    addRow(measure("stream/v2/b4k", v2Path, nacc,
+                   [&] { return drainReader(v2Path, small); }));
+    if (analyze.value)
+        addRow(measure("analyze/v2/stream", v2Path, nacc, [&] {
+            return analyzeTraceFile(v2Path).footprintLines;
+        }));
+
+    for (std::size_t i = 1; i < rows.size(); i++)
+        if (rows[i].label.rfind("analyze", 0) != 0 &&
+            rows[i].contentHash != rows[0].contentHash)
+            fatal("%s decoded a different record stream than %s",
+                  rows[i].label.c_str(), rows[0].label.c_str());
+
+    writeJson(out.value, rows, td.requests(), nacc, v1Bytes, v2Bytes,
+              static_cast<std::uint64_t>(seed.value));
+    std::printf("# wrote %s\n", out.value.c_str());
+
+    std::error_code ec;
+    std::filesystem::remove(v1Path, ec);
+    std::filesystem::remove(v2Path, ec);
+    return 0;
+}

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ubik {
@@ -43,6 +44,18 @@ fnv1a64(std::uint64_t h, std::uint64_t v)
 {
     for (int i = 0; i < 8; i++) {
         h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** FNV-1a over a raw byte span (trace chunk checksums: the writer
+ *  and reader must fold the exact same definition). */
+inline std::uint64_t
+fnv1a64Bytes(std::uint64_t h, const std::uint8_t *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; i++) {
+        h ^= p[i];
         h *= 0x100000001b3ull;
     }
     return h;

@@ -166,6 +166,8 @@ Cmp::Cmp(CmpConfig cfg, std::vector<LcAppSpec> lc,
             core->idx = static_cast<std::uint32_t>(c - lc.size());
             core->batchApp = std::make_unique<BatchApp>(
                 batch[core->idx].params, c, rng_.fork());
+            if (batch[core->idx].trace)
+                core->batchApp->bindTrace(batch[core->idx].trace);
             CoreTraits t;
             t.apki = batch[core->idx].params.apki;
             t.baseIpc = batch[core->idx].params.baseIpc;
@@ -691,6 +693,20 @@ Cmp::run()
         double instr = core.cumInstr - core.instrAtRoiStart;
         r.roiInstructions = static_cast<std::uint64_t>(instr);
     }
+}
+
+Rng
+Cmp::appRng(std::uint64_t seed, std::uint32_t core)
+{
+    // Mirrors the constructor's fork order exactly: per core, one
+    // fork for the arrival-process RNG, then one for the app.
+    Rng master(seed);
+    for (std::uint32_t c = 0; c < core; c++) {
+        master.fork();
+        master.fork();
+    }
+    master.fork();
+    return master.fork();
 }
 
 void

@@ -156,6 +156,11 @@ struct LcAppSpec
 struct BatchAppSpec
 {
     BatchAppParams params; ///< already scaled
+
+    /** Optional captured trace to replay instead of the synthetic
+     *  generator (BatchApp::bindTrace); params still supplies the
+     *  timing model (apki, mlp, baseIpc). */
+    std::shared_ptr<const TraceData> trace;
 };
 
 /** Per-LC-instance results. */
@@ -238,6 +243,15 @@ class Cmp
 
     /** Dump the simulated machine configuration (Table 2). */
     static void printConfig(const CmpConfig &cfg);
+
+    /**
+     * The exact RNG this constructor hands the app on core `core`
+     * for master seed `seed`. Trace capture uses it to record, ahead
+     * of time, precisely the stream a simulated core would generate —
+     * the basis of the capture-then-replay fidelity guarantee
+     * (workload/trace_capture.h).
+     */
+    static Rng appRng(std::uint64_t seed, std::uint32_t core);
 
   private:
     struct Core;

@@ -203,6 +203,11 @@ MixRunResult
 MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
                   std::uint64_t seed)
 {
+    const std::size_t ntraces = spec.lc.traces.size();
+    if (ntraces != 0 && ntraces != 1 && ntraces != 3)
+        fatal("mix %s: lc.traces must hold 0, 1, or 3 traces (has %zu)",
+              spec.name.c_str(), ntraces);
+
     const LcBaseline &base = lcBaseline(spec.lc.app, spec.lc.load, seed);
     LcAppParams scaled = spec.lc.app.scaled(cfg_.scale);
 
@@ -210,8 +215,11 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
     sut.applyTo(cc);
 
     std::vector<LcAppSpec> lc(3);
-    for (auto &s : lc) {
+    for (std::size_t i = 0; i < lc.size(); i++) {
+        LcAppSpec &s = lc[i];
         s.params = scaled;
+        if (ntraces)
+            s.trace = spec.lc.traces[ntraces == 1 ? 0 : i]->data();
         s.meanInterarrival = base.meanInterarrival;
         s.roiRequests = cfg_.roiRequests;
         s.warmupRequests = cfg_.warmupRequests;
@@ -222,7 +230,7 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
     for (int i = 0; i < 3; i++)
         batch[i].params = spec.batch.apps[i].scaled(cfg_.scale);
 
-    Cmp cmp(cc, lc, batch, seed * 15485863 + 17);
+    Cmp cmp(cc, lc, batch, mixCmpSeed(seed));
     cmp.run();
 
     MixRunResult res;

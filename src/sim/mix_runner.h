@@ -143,9 +143,23 @@ class MixRunner
     double batchAloneIpc(const BatchAppParams &params,
                          std::uint64_t seed);
 
-    /** Run one mix under one scheme. */
+    /**
+     * Run one mix under one scheme. Trace-backed LC configs
+     * (MixSpec::lc.traces) replay inside the shared-LLC simulation;
+     * baselines always come from the synthetic params, so a traced
+     * mix and its source preset share them (workload/mix.h).
+     */
     MixRunResult runMix(const MixSpec &spec, const SchemeUnderTest &sut,
                         std::uint64_t seed);
+
+    /** Master seed runMix hands the mix Cmp for sweep seed `seed` —
+     *  capture-fidelity harnesses derive per-core app RNGs from it
+     *  via Cmp::appRng. */
+    static std::uint64_t
+    mixCmpSeed(std::uint64_t seed)
+    {
+        return seed * 15485863 + 17;
+    }
 
     /** Convenience: run an LC app alone (private LLC, open loop) and
      *  return the merged latency recorder; used by Fig 1. */

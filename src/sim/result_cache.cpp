@@ -361,6 +361,15 @@ mixResultKey(const ExperimentConfig &cfg, const MixSpec &mix,
     kb.add("mix.name", mix.name);
     addLcApp(kb, mix.lc.app);
     kb.add("lc.load", mix.lc.load);
+    // Trace-backed mixes key on the traces' logical content, so an
+    // edited trace (or a different per-instance assignment) never
+    // serves a stale result, while re-encoding the same records
+    // (v1 -> v2 conversion, rechunking) still hits.
+    kb.add("lc.ntraces",
+           static_cast<std::uint64_t>(mix.lc.traces.size()));
+    for (std::size_t i = 0; i < mix.lc.traces.size(); i++)
+        kb.add(("lc.trace" + std::to_string(i)).c_str(),
+               mix.lc.traces[i]->contentHash());
     kb.add("batch.name", mix.batch.name);
     for (int i = 0; i < 3; i++)
         addBatchApp(kb, mix.batch.apps[static_cast<std::size_t>(i)], i);

@@ -47,8 +47,12 @@
 namespace ubik {
 
 /** Bump to invalidate every cached result after a simulator change
- *  that alters results without changing any configuration field. */
-constexpr std::uint32_t kResultCacheSchemaVersion = 1;
+ *  that alters results without changing any configuration field.
+ *  History: v1 = PR 2 (initial store); v2 = PR 4 (trace-backed mixes:
+ *  keys gain the trace content hashes, and trace replay changed
+ *  request-cursor/address-salt semantics, which shifts any result
+ *  that involved a bound trace). */
+constexpr std::uint32_t kResultCacheSchemaVersion = 2;
 
 /** Counters since this ResultCache was opened. */
 struct CacheStats

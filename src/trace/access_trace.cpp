@@ -3,82 +3,14 @@
 #include <cstdio>
 #include <cstring>
 
+#include "trace/trace_format.h"
+#include "trace/trace_reader.h"
+#include "common/hash.h"
 #include "common/log.h"
 
 namespace ubik {
 
-namespace {
-
-constexpr char kMagic[4] = {'U', 'B', 'T', 'R'};
-constexpr std::uint8_t kVersion = 1;
-
-constexpr std::uint8_t kRecRequest = 0x01;
-constexpr std::uint8_t kRecAccess = 0x02;
-constexpr std::uint8_t kRecEnd = 0x03;
-
-/** Zigzag encoding maps signed deltas onto small unsigned varints. */
-std::uint64_t
-zigzag(std::int64_t v)
-{
-    return (static_cast<std::uint64_t>(v) << 1) ^
-           static_cast<std::uint64_t>(v >> 63);
-}
-
-std::int64_t
-unzigzag(std::uint64_t v)
-{
-    return static_cast<std::int64_t>(v >> 1) ^
-           -static_cast<std::int64_t>(v & 1);
-}
-
-/** Cursor over a fully loaded file image. */
-struct ByteReader
-{
-    const std::vector<std::uint8_t> &buf;
-    std::size_t pos = 0;
-    const std::string &path; // for error messages
-
-    bool atEnd() const { return pos >= buf.size(); }
-
-    std::uint8_t
-    byte()
-    {
-        if (atEnd())
-            fatal("trace %s: truncated (unexpected end of file)",
-                  path.c_str());
-        return buf[pos++];
-    }
-
-    double
-    f64()
-    {
-        std::uint64_t bits = 0;
-        for (int i = 0; i < 8; i++)
-            bits |= static_cast<std::uint64_t>(byte()) << (8 * i);
-        double v;
-        std::memcpy(&v, &bits, sizeof(v)); // C++17: no std::bit_cast
-        return v;
-    }
-
-    std::uint64_t
-    varint()
-    {
-        std::uint64_t v = 0;
-        int shift = 0;
-        for (;;) {
-            std::uint8_t b = byte();
-            if (shift >= 63 && (b & 0x7e))
-                fatal("trace %s: varint overflow at offset %zu",
-                      path.c_str(), pos - 1);
-            v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
-            if (!(b & 0x80))
-                return v;
-            shift += 7;
-        }
-    }
-};
-
-} // namespace
+using namespace trace_format;
 
 std::uint64_t
 TraceData::accessesOf(std::uint64_t i) const
@@ -107,13 +39,19 @@ TraceData::apki() const
                     : 0;
 }
 
-TraceWriter::TraceWriter(const std::string &path)
-    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+TraceWriter::TraceWriter(const std::string &path, TraceWriterOptions opt)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path), opt_(opt)
 {
     if (!file_)
         fatal("cannot open trace file %s for writing", path.c_str());
+    if (opt_.version != kVersionV1 && opt_.version != kVersionV2)
+        fatal("trace %s: cannot write version %u (1 or 2)",
+              path.c_str(), opt_.version);
+    if (opt_.chunkBytes == 0)
+        opt_.chunkBytes = 1;
     std::fwrite(kMagic, 1, sizeof(kMagic), file_);
-    putByte(kVersion);
+    if (std::fputc(opt_.version, file_) == EOF)
+        fatal("write error on trace file %s", path_.c_str());
 }
 
 TraceWriter::~TraceWriter()
@@ -129,7 +67,7 @@ TraceWriter::putByte(std::uint8_t b)
 }
 
 void
-TraceWriter::putVarint(std::uint64_t v)
+TraceWriter::putFileVarint(std::uint64_t v)
 {
     while (v >= 0x80) {
         putByte(static_cast<std::uint8_t>(v) | 0x80);
@@ -139,18 +77,55 @@ TraceWriter::putVarint(std::uint64_t v)
 }
 
 void
-TraceWriter::putSvarint(std::int64_t v)
+TraceWriter::putVarint(std::uint64_t v)
 {
-    putVarint(zigzag(v));
+    while (v >= 0x80) {
+        record(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    record(static_cast<std::uint8_t>(v));
 }
 
 void
 TraceWriter::putF64(double v)
 {
     std::uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits)); // C++17: no std::bit_cast
+    std::memcpy(&bits, &v, sizeof(bits));
     for (int i = 0; i < 8; i++)
-        putByte(static_cast<std::uint8_t>(bits >> (8 * i)));
+        record(static_cast<std::uint8_t>(bits >> (8 * i)));
+}
+
+void
+TraceWriter::record(std::uint8_t b)
+{
+    if (opt_.version == kVersionV2)
+        chunk_.push_back(b);
+    else
+        putByte(b);
+}
+
+void
+TraceWriter::flushChunk()
+{
+    if (chunk_.empty())
+        return;
+    putByte(kRecChunk);
+    // Chunk header varints go straight to the file, not the payload.
+    putFileVarint(chunk_.size());
+    putFileVarint(chunkRequests_);
+    putFileVarint(chunkAccesses_);
+    std::uint64_t h =
+        fnv1a64Bytes(kFnvOffsetBasis, chunk_.data(), chunk_.size());
+    for (int i = 0; i < 8; i++)
+        putByte(static_cast<std::uint8_t>(h >> (8 * i)));
+    if (std::fwrite(chunk_.data(), 1, chunk_.size(), file_) !=
+        chunk_.size())
+        fatal("write error on trace file %s", path_.c_str());
+    chunk_.clear();
+    chunkRequests_ = 0;
+    chunkAccesses_ = 0;
+    // Chunks are independently decodable: deltas restart from 0.
+    prevAddr_ = 0;
 }
 
 void
@@ -159,9 +134,12 @@ TraceWriter::beginRequest(double instructions)
     ubik_assert(!finished_);
     if (instructions < 0)
         instructions = 0;
-    putByte(kRecRequest);
+    record(kRecRequest);
     putF64(instructions);
     requests_++;
+    chunkRequests_++;
+    if (opt_.version == kVersionV2 && chunk_.size() >= opt_.chunkBytes)
+        flushChunk();
 }
 
 void
@@ -171,11 +149,16 @@ TraceWriter::access(Addr line_addr)
     if (requests_ == 0)
         fatal("trace %s: access recorded before any beginRequest()",
               path_.c_str());
-    putByte(kRecAccess);
-    putSvarint(static_cast<std::int64_t>(line_addr) -
-               static_cast<std::int64_t>(prevAddr_));
+    record(kRecAccess);
+    // Delta in modular (unsigned) arithmetic: extreme address jumps
+    // wrap instead of tripping signed-overflow UB, and the reader's
+    // modular add reverses this exactly.
+    putVarint(zigzag(static_cast<std::int64_t>(line_addr - prevAddr_)));
     prevAddr_ = line_addr;
     accesses_++;
+    chunkAccesses_++;
+    if (opt_.version == kVersionV2 && chunk_.size() >= opt_.chunkBytes)
+        flushChunk();
 }
 
 void
@@ -183,9 +166,11 @@ TraceWriter::finish()
 {
     if (finished_)
         return;
+    if (opt_.version == kVersionV2)
+        flushChunk();
     putByte(kRecEnd);
-    putVarint(requests_);
-    putVarint(accesses_);
+    putFileVarint(requests_);
+    putFileVarint(accesses_);
     std::fclose(file_);
     file_ = nullptr;
     finished_ = true;
@@ -194,78 +179,24 @@ TraceWriter::finish()
 TraceData
 readTrace(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open trace file %s", path.c_str());
-    std::vector<std::uint8_t> buf;
-    std::uint8_t chunk[1 << 16];
-    std::size_t n;
-    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0)
-        buf.insert(buf.end(), chunk, chunk + n);
-    std::fclose(f);
-
-    ByteReader r{buf, 0, path};
-    if (buf.size() < 5 || buf[0] != 'U' || buf[1] != 'B' ||
-        buf[2] != 'T' || buf[3] != 'R')
-        fatal("trace %s: bad magic (not a ubik trace)", path.c_str());
-    r.pos = 4;
-    std::uint8_t version = r.byte();
-    if (version != kVersion)
-        fatal("trace %s: unsupported version %u (expected %u)",
-              path.c_str(), version, kVersion);
-
+    // Whole-file loads have no analysis to overlap with, so skip the
+    // prefetch thread; the delivered records are identical either way.
+    TraceReaderOptions opt;
+    opt.prefetch = false;
+    TraceReader reader(path, opt);
     TraceData td;
-    Addr prev = 0;
-    bool saw_end = false;
-    while (!r.atEnd()) {
-        std::uint8_t rec = r.byte();
-        switch (rec) {
-          case kRecRequest:
-            td.requestWork.push_back(r.f64());
-            td.requestStart.push_back(td.accesses.size());
-            break;
-          case kRecAccess: {
-            if (td.requestWork.empty())
-                fatal("trace %s: access before first request",
-                      path.c_str());
-            std::int64_t delta = unzigzag(r.varint());
-            prev = static_cast<Addr>(
-                static_cast<std::int64_t>(prev) + delta);
-            td.accesses.push_back(prev);
-            break;
-          }
-          case kRecEnd: {
-            std::uint64_t reqs = r.varint();
-            std::uint64_t accs = r.varint();
-            if (reqs != td.requestWork.size() ||
-                accs != td.accesses.size())
-                fatal("trace %s: footer mismatch (%llu/%llu recorded "
-                      "vs %zu/%zu parsed) — truncated capture?",
-                      path.c_str(),
-                      static_cast<unsigned long long>(reqs),
-                      static_cast<unsigned long long>(accs),
-                      td.requestWork.size(), td.accesses.size());
-            saw_end = true;
-            break;
-          }
-          default:
-            fatal("trace %s: unknown record type 0x%02x at offset %zu",
-                  path.c_str(), rec, r.pos - 1);
-        }
-        if (saw_end)
-            break;
-    }
-    if (!saw_end)
-        fatal("trace %s: missing END footer — truncated capture?",
-              path.c_str());
+    TraceBatch batch;
+    while (reader.next(batch))
+        appendBatch(td, batch);
     return td;
 }
 
 void
-writeTrace(const TraceData &trace, const std::string &path)
+writeTrace(const TraceData &trace, const std::string &path,
+           TraceWriterOptions opt)
 {
     ubik_assert(trace.requestWork.size() == trace.requestStart.size());
-    TraceWriter w(path);
+    TraceWriter w(path, opt);
     for (std::uint64_t i = 0; i < trace.requests(); i++) {
         w.beginRequest(trace.requestWork[i]);
         std::uint64_t begin = trace.requestStart[i];

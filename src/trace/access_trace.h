@@ -8,15 +8,28 @@
  * workloads: capture a per-line-address LLC access trace (from the
  * synthetic generators here, or converted from any external tool),
  * then feed it to TraceAnalyzer for exact miss curves and inertia
- * statistics, and to UbikAdvisor for offline s_idle/s_boost sizing.
+ * statistics, to UbikAdvisor for offline s_idle/s_boost sizing, and
+ * to the simulator as a first-class TraceApp workload
+ * (workload/trace_app.h).
  *
- * Format (little-endian, varint-compressed):
+ * Record grammar (little-endian, varint-compressed):
  *
- *   magic "UBTR" + u8 version (1)
- *   records:
  *     0x01 REQUEST  f64le(instructions)         -- request boundary
  *     0x02 ACCESS   svarint(addr - prevAddr)    -- one LLC access
  *     0x03 END      varint(requests) varint(accesses)  -- footer
+ *     0x04 CHUNK    varint(payloadBytes) varint(requests)
+ *                   varint(accesses) u64le(fnv1a64 of payload)
+ *                   <payload: REQUEST/ACCESS records>   -- v2 only
+ *
+ * v1 (magic "UBTR" + u8 1): a flat REQUEST/ACCESS stream terminated
+ * by END. v2 (magic "UBTR" + u8 2, the default written format):
+ * REQUEST/ACCESS records are grouped into CHUNK records carrying
+ * their own record counts and checksum, with the address-delta base
+ * reset to 0 at each chunk start, so every chunk is independently
+ * decodable and corruption is localized and detected before any
+ * record of the damaged chunk is believed. Both versions are read by
+ * TraceReader (trace/trace_reader.h), which streams fixed-size
+ * batches instead of materializing the file.
  *
  * Addresses are line addresses (byte address >> 6). Delta encoding
  * plus LEB128 varints compress typical streams to ~2 bytes/access.
@@ -59,12 +72,25 @@ struct TraceData
     double apki() const;
 };
 
+/** On-disk format knobs for TraceWriter. */
+struct TraceWriterOptions
+{
+    /** 2 (chunked, checksummed — the default) or 1 (legacy flat). */
+    std::uint8_t version = 2;
+
+    /** Target chunk payload size, bytes (v2 only). Smaller chunks
+     *  localize corruption and parallelize poorly-cached reads;
+     *  larger chunks compress deltas marginally better. */
+    std::size_t chunkBytes = 64 << 10;
+};
+
 /** Streaming writer for the binary trace format. */
 class TraceWriter
 {
   public:
     /** Opens `path` for writing; fatal() if it cannot. */
-    explicit TraceWriter(const std::string &path);
+    explicit TraceWriter(const std::string &path,
+                         TraceWriterOptions opt = {});
     ~TraceWriter();
 
     TraceWriter(const TraceWriter &) = delete;
@@ -84,27 +110,38 @@ class TraceWriter
 
   private:
     void putByte(std::uint8_t b);
-    void putVarint(std::uint64_t v);
-    void putSvarint(std::int64_t v);
+    void putFileVarint(std::uint64_t v); ///< straight to the file
+    void putVarint(std::uint64_t v);     ///< routed through record()
     void putF64(double v);
+    void record(std::uint8_t rec); ///< route a record byte (v2 buffers)
+    void flushChunk();
 
     std::FILE *file_;
     std::string path_;
+    TraceWriterOptions opt_;
     Addr prevAddr_ = 0;
     std::uint64_t requests_ = 0;
     std::uint64_t accesses_ = 0;
     bool finished_ = false;
+
+    /** v2: pending chunk payload + its record counts. */
+    std::vector<std::uint8_t> chunk_;
+    std::uint64_t chunkRequests_ = 0;
+    std::uint64_t chunkAccesses_ = 0;
 };
 
 /**
- * Load a binary trace from disk.
- * fatal() on missing files, bad magic, unsupported versions, corrupt
- * varints, or footer/count mismatches (truncated captures).
+ * Load a binary trace (v1 or v2) from disk into memory, via the
+ * streaming reader. fatal() on missing files, bad magic, unsupported
+ * versions, corrupt varints, checksum failures, or footer/count
+ * mismatches (truncated captures). Prefer TraceReader for large
+ * traces — this materializes everything.
  */
 TraceData readTrace(const std::string &path);
 
 /** Serialize an in-memory trace to disk (convenience for tests and
- *  the capture helpers). */
-void writeTrace(const TraceData &trace, const std::string &path);
+ *  the capture helpers). Writes v2 unless `opt` says otherwise. */
+void writeTrace(const TraceData &trace, const std::string &path,
+                TraceWriterOptions opt = {});
 
 } // namespace ubik

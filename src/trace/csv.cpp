@@ -23,7 +23,7 @@ CsvWriter::~CsvWriter()
 std::string
 CsvWriter::quote(const std::string &cell) const
 {
-    if (cell.find_first_of(",\"\n") == std::string::npos)
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
         return cell;
     std::string out = "\"";
     for (char c : cell) {

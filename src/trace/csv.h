@@ -7,8 +7,8 @@
  * the terminal and enter a notebook.
  *
  * Format choices: RFC-4180-style quoting (fields containing commas,
- * quotes, or newlines are double-quoted with inner quotes doubled),
- * '\n' line endings, one header row.
+ * quotes, or line breaks — LF or CR — are double-quoted with inner
+ * quotes doubled), '\n' line endings, one header row.
  */
 
 #pragma once

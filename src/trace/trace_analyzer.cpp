@@ -1,45 +1,18 @@
 #include "trace/trace_analyzer.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/log.h"
 
 namespace ubik {
 
-namespace {
-
-/** Fenwick (binary indexed) tree over access positions; counts one
- *  "live" mark per distinct address at its most recent position. */
-class Fenwick
+double
+TraceAnalysis::apki() const
 {
-  public:
-    explicit Fenwick(std::size_t n) : tree_(n + 1, 0) {}
-
-    /** Add `delta` at 0-based position i. */
-    void
-    add(std::size_t i, int delta)
-    {
-        for (std::size_t j = i + 1; j < tree_.size();
-             j += j & (~j + 1))
-            tree_[j] += delta;
-    }
-
-    /** Sum of marks at 0-based positions [0, i]. */
-    std::int64_t
-    prefix(std::size_t i) const
-    {
-        std::int64_t s = 0;
-        for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1))
-            s += tree_[j];
-        return s;
-    }
-
-  private:
-    std::vector<std::int64_t> tree_;
-};
-
-} // namespace
+    return totalWork > 0
+               ? static_cast<double>(accesses) / totalWork * 1000.0
+               : 0;
+}
 
 std::uint64_t
 TraceAnalysis::missesAtSize(std::uint64_t lines) const
@@ -87,72 +60,150 @@ TraceAnalysis::missCurve(std::size_t points,
     return MissCurve(std::move(vals), per_point);
 }
 
+// ---------------------------------------------------------------------------
+// StackDistanceAnalyzer
+// ---------------------------------------------------------------------------
+
+void
+StackDistanceAnalyzer::Fenwick::ensure(std::size_t n)
+{
+    if (n <= cap)
+        return;
+    std::size_t ncap = std::max<std::size_t>(1024, cap * 2);
+    while (ncap < n)
+        ncap *= 2;
+    live.resize(ncap, 0);
+    tree.assign(ncap + 1, 0);
+    // O(n) rebuild: seed each node with its own mark, then push the
+    // partial sum up to the parent — prefix sums come out identical
+    // to a tree that was sized ncap from the start.
+    for (std::size_t j = 1; j <= ncap; j++) {
+        tree[j] += live[j - 1];
+        std::size_t parent = j + (j & (~j + 1));
+        if (parent <= ncap)
+            tree[parent] += tree[j];
+    }
+    cap = ncap;
+}
+
+void
+StackDistanceAnalyzer::Fenwick::add(std::size_t i, int delta)
+{
+    live[i] = static_cast<std::int8_t>(live[i] + delta);
+    for (std::size_t j = i + 1; j <= cap; j += j & (~j + 1))
+        tree[j] += delta;
+}
+
+std::int64_t
+StackDistanceAnalyzer::Fenwick::prefix(std::size_t i) const
+{
+    std::int64_t s = 0;
+    for (std::size_t j = i + 1; j > 0; j -= j & (~j + 1))
+        s += tree[j];
+    return s;
+}
+
+StackDistanceAnalyzer::StackDistanceAnalyzer(
+    std::uint64_t max_tracked_distance)
+    : maxTracked_(max_tracked_distance)
+{
+    out_.hitsByRequestsAgo.assign(9, 0);
+}
+
+void
+StackDistanceAnalyzer::beginRequest(double instructions)
+{
+    ubik_assert(!finished_);
+    if (anyRequest_)
+        req_++;
+    anyRequest_ = true;
+    out_.requests++;
+    out_.totalWork += instructions;
+}
+
+void
+StackDistanceAnalyzer::access(Addr a)
+{
+    ubik_assert(!finished_);
+    std::size_t i = pos_++;
+    marks_.ensure(i + 1);
+    out_.accesses++;
+
+    auto it = lastPos_.find(a);
+    if (it == lastPos_.end()) {
+        out_.coldMisses++;
+        out_.footprintLines++;
+    } else {
+        std::size_t p = it->second;
+        // Distinct lines touched in (p, i): marks in [p+1, i-1],
+        // i.e. prefix(i-1) - prefix(p).
+        std::int64_t d64 =
+            marks_.prefix(i > 0 ? i - 1 : 0) - marks_.prefix(p);
+        ubik_assert(d64 >= 0);
+        std::uint64_t d =
+            std::min(static_cast<std::uint64_t>(d64), maxTracked_);
+        if (d >= hist_.size())
+            hist_.resize(d + 1, 0);
+        hist_[d]++;
+        maxSeen_ = std::max(maxSeen_, d);
+
+        totalHits_++;
+        std::uint64_t prev_req = lastReq_[a];
+        std::uint64_t ago = req_ - prev_req;
+        out_.hitsByRequestsAgo[std::min<std::uint64_t>(ago, 8)]++;
+        if (ago > 0)
+            crossHits_++;
+        marks_.add(p, -1);
+    }
+    marks_.add(i, +1);
+    lastPos_[a] = i;
+    lastReq_[a] = req_;
+}
+
+TraceAnalysis
+StackDistanceAnalyzer::finish()
+{
+    ubik_assert(!finished_);
+    finished_ = true;
+    if (totalHits_ > 0)
+        hist_.resize(maxSeen_ + 1);
+    out_.distanceHistogram = std::move(hist_);
+    out_.crossRequestReuse =
+        totalHits_ > 0 ? static_cast<double>(crossHits_) /
+                             static_cast<double>(totalHits_)
+                       : 0;
+    return std::move(out_);
+}
+
 TraceAnalysis
 analyzeTrace(const TraceData &trace, std::uint64_t max_tracked_distance)
 {
-    TraceAnalysis out;
-    out.accesses = trace.accesses.size();
-    out.hitsByRequestsAgo.assign(9, 0);
-
-    const std::size_t n = trace.accesses.size();
-    Fenwick marks(n);
-    std::unordered_map<Addr, std::size_t> lastPos;
-    std::unordered_map<Addr, std::uint64_t> lastReq;
-    lastPos.reserve(n / 4 + 16);
-    lastReq.reserve(n / 4 + 16);
-
-    // Track the largest distance actually seen so the histogram stays
-    // as small as the trace allows.
-    std::uint64_t max_seen = 0;
-    std::vector<std::uint64_t> hist;
-
+    StackDistanceAnalyzer an(max_tracked_distance);
     std::uint64_t req = 0;
-    std::uint64_t cross_hits = 0, total_hits = 0;
-    for (std::size_t i = 0; i < n; i++) {
-        while (req + 1 < trace.requestStart.size() &&
-               i >= trace.requestStart[req + 1])
-            req++;
-        Addr a = trace.accesses[i];
-        auto it = lastPos.find(a);
-        if (it == lastPos.end()) {
-            out.coldMisses++;
-            out.footprintLines++;
-        } else {
-            std::size_t p = it->second;
-            // Distinct lines touched in (p, i): marks in [p+1, i-1],
-            // i.e. prefix(i-1) - prefix(p).
-            std::int64_t d64 =
-                marks.prefix(i > 0 ? i - 1 : 0) - marks.prefix(p);
-            ubik_assert(d64 >= 0);
-            std::uint64_t d = std::min(
-                static_cast<std::uint64_t>(d64),
-                max_tracked_distance);
-            if (d >= hist.size())
-                hist.resize(d + 1, 0);
-            hist[d]++;
-            max_seen = std::max(max_seen, d);
-
-            total_hits++;
-            std::uint64_t prev_req = lastReq[a];
-            std::uint64_t ago = req - prev_req;
-            out.hitsByRequestsAgo[std::min<std::uint64_t>(ago, 8)]++;
-            if (ago > 0)
-                cross_hits++;
-            marks.add(p, -1);
-        }
-        marks.add(i, +1);
-        lastPos[a] = i;
-        lastReq[a] = req;
+    for (std::size_t i = 0; i < trace.accesses.size(); i++) {
+        while (req < trace.requestStart.size() &&
+               trace.requestStart[req] == i)
+            an.beginRequest(trace.requestWork[req++]);
+        an.access(trace.accesses[i]);
     }
+    while (req < trace.requestStart.size())
+        an.beginRequest(trace.requestWork[req++]);
+    return an.finish();
+}
 
-    if (total_hits > 0)
-        hist.resize(max_seen + 1);
-    out.distanceHistogram = std::move(hist);
-    out.crossRequestReuse =
-        total_hits > 0 ? static_cast<double>(cross_hits) /
-                             static_cast<double>(total_hits)
-                       : 0;
-    return out;
+TraceAnalysis
+analyzeTraceFile(const std::string &path,
+                 std::uint64_t max_tracked_distance,
+                 TraceReaderOptions opt)
+{
+    StackDistanceAnalyzer an(max_tracked_distance);
+    TraceReader reader(path, opt);
+    TraceBatch batch;
+    while (reader.next(batch))
+        forEachRecord(
+            batch, [&](double work) { an.beginRequest(work); },
+            [&](Addr a) { an.access(a); });
+    return an.finish();
 }
 
 } // namespace ubik

@@ -11,15 +11,24 @@
  * (hash map + Fenwick tree over access positions) yields the exact
  * miss count at *every* cache size simultaneously — the offline
  * ground truth the sampled UMON curves approximate.
+ *
+ * The pass is incremental (StackDistanceAnalyzer): records can be
+ * pushed one at a time, so the analyzer consumes streamed TraceReader
+ * batches without ever materializing the trace —
+ * analyzeTraceFile() is the whole-pipeline entry point, and
+ * analyzeTrace() remains for in-memory TraceData. Both produce
+ * identical TraceAnalysis values for the same record stream.
  */
 
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "mon/miss_curve.h"
 #include "trace/access_trace.h"
+#include "trace/trace_reader.h"
 #include "common/types.h"
 
 namespace ubik {
@@ -28,6 +37,12 @@ namespace ubik {
 struct TraceAnalysis
 {
     std::uint64_t accesses = 0;
+
+    /** Requests in the analyzed stream. */
+    std::uint64_t requests = 0;
+
+    /** Total instructions over all requests. */
+    double totalWork = 0;
 
     /** Accesses to never-before-seen lines (infinite distance). */
     std::uint64_t coldMisses = 0;
@@ -50,6 +65,9 @@ struct TraceAnalysis
      *  last touched: [0] = same request, ..., [8] = 8+ ago (Fig 2). */
     std::vector<std::uint64_t> hitsByRequestsAgo;
 
+    /** LLC accesses per thousand instructions. */
+    double apki() const;
+
     /** Exact misses with an LRU cache of `lines` lines. */
     std::uint64_t missesAtSize(std::uint64_t lines) const;
 
@@ -66,12 +84,74 @@ struct TraceAnalysis
 };
 
 /**
- * Analyze a trace in one pass.
- * @param max_tracked_distance histogram resolution; accesses with
- *        larger distances are folded into the final bucket (they
- *        miss at every size of interest anyway)
+ * Incremental Mattson pass. Feed records in stream order —
+ * beginRequest() at each request boundary, access() per LLC access —
+ * then call finish() once. The Fenwick tree over access positions
+ * grows geometrically as records arrive (amortized O(1) per access),
+ * so the analyzer never needs the stream length up front.
+ */
+class StackDistanceAnalyzer
+{
+  public:
+    /**
+     * @param max_tracked_distance histogram resolution; accesses with
+     *        larger distances fold into the final bucket (they miss
+     *        at every size of interest anyway)
+     */
+    explicit StackDistanceAnalyzer(
+        std::uint64_t max_tracked_distance = 1 << 22);
+
+    void beginRequest(double instructions);
+    void access(Addr line_addr);
+
+    /** Finalize; the analyzer must not be fed afterwards. */
+    TraceAnalysis finish();
+
+  private:
+    /** Fenwick tree over access positions that grows on demand:
+     *  doubling rebuilds from the kept live-mark bitmap, so prefix
+     *  sums match a statically-sized tree exactly. */
+    struct Fenwick
+    {
+        void ensure(std::size_t n);
+        void add(std::size_t i, int delta);
+        std::int64_t prefix(std::size_t i) const;
+
+        std::vector<std::int64_t> tree;
+        std::vector<std::int8_t> live;
+        std::size_t cap = 0;
+    };
+
+    std::uint64_t maxTracked_;
+    TraceAnalysis out_;
+    Fenwick marks_;
+    std::unordered_map<Addr, std::size_t> lastPos_;
+    std::unordered_map<Addr, std::uint64_t> lastReq_;
+    std::vector<std::uint64_t> hist_;
+    std::uint64_t maxSeen_ = 0;
+    std::uint64_t req_ = 0;
+    bool anyRequest_ = false;
+    std::size_t pos_ = 0;
+    std::uint64_t crossHits_ = 0;
+    std::uint64_t totalHits_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Analyze an in-memory trace in one pass.
  */
 TraceAnalysis analyzeTrace(const TraceData &trace,
                            std::uint64_t max_tracked_distance = 1 << 22);
+
+/**
+ * Analyze a trace file by streaming it through TraceReader — the
+ * file is never materialized. Identical results to
+ * analyzeTrace(readTrace(path)) at any batch size, prefetch on or
+ * off.
+ */
+TraceAnalysis analyzeTraceFile(const std::string &path,
+                               std::uint64_t max_tracked_distance = 1
+                                                                    << 22,
+                               TraceReaderOptions opt = {});
 
 } // namespace ubik

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared on-disk constants for the `.ubtr` trace format, used by the
+ * writer (trace/access_trace.cpp) and the streaming reader
+ * (trace/trace_reader.cpp). The format itself is documented in
+ * trace/access_trace.h.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace ubik {
+namespace trace_format {
+
+constexpr char kMagic[4] = {'U', 'B', 'T', 'R'};
+
+constexpr std::uint8_t kVersionV1 = 1;
+constexpr std::uint8_t kVersionV2 = 2;
+
+constexpr std::uint8_t kRecRequest = 0x01;
+constexpr std::uint8_t kRecAccess = 0x02;
+constexpr std::uint8_t kRecEnd = 0x03;
+constexpr std::uint8_t kRecChunk = 0x04; ///< v2 only
+
+/** Zigzag encoding maps signed deltas onto small unsigned varints. */
+inline std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace trace_format
+} // namespace ubik

@@ -1,0 +1,702 @@
+#include "trace/trace_reader.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "trace/access_trace.h"
+#include "trace/trace_format.h"
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace ubik {
+
+using namespace trace_format;
+
+void
+TraceBatch::clear()
+{
+    requestWork.clear();
+    requestPos.clear();
+    accesses.clear();
+}
+
+void
+appendBatch(TraceData &td, const TraceBatch &batch)
+{
+    std::uint64_t base = td.accesses.size();
+    for (std::size_t i = 0; i < batch.requestWork.size(); i++) {
+        td.requestWork.push_back(batch.requestWork[i]);
+        td.requestStart.push_back(base + batch.requestPos[i]);
+    }
+    td.accesses.insert(td.accesses.end(), batch.accesses.begin(),
+                       batch.accesses.end());
+}
+
+namespace {
+
+/** Buffered byte source over one file. */
+class ByteSource
+{
+  public:
+    explicit ByteSource(std::FILE *f) : file_(f) {}
+
+    /** Absolute offset of the next unread byte (error messages). */
+    std::uint64_t offset() const { return base_ + pos_; }
+
+    /** A read failed with an I/O error (as opposed to end of file):
+     *  the file may be intact, the disk read was not. */
+    bool ioError() const { return ioError_; }
+
+    /** Next byte; false at end of file. */
+    bool
+    byte(std::uint8_t &out)
+    {
+        if (pos_ >= len_ && !refill())
+            return false;
+        out = buf_[pos_++];
+        return true;
+    }
+
+    /** Read exactly `n` bytes; false on a short read. */
+    bool
+    bytes(std::uint8_t *dst, std::size_t n)
+    {
+        while (n > 0) {
+            if (pos_ >= len_ && !refill())
+                return false;
+            std::size_t take = std::min(n, len_ - pos_);
+            std::memcpy(dst, buf_ + pos_, take);
+            pos_ += take;
+            dst += take;
+            n -= take;
+        }
+        return true;
+    }
+
+  private:
+    bool
+    refill()
+    {
+        base_ += len_;
+        pos_ = 0;
+        len_ = std::fread(buf_, 1, sizeof(buf_), file_);
+        if (len_ < sizeof(buf_) && file_ && std::ferror(file_))
+            ioError_ = true;
+        return len_ > 0;
+    }
+
+    std::FILE *file_;
+    std::uint8_t buf_[1 << 18];
+    std::size_t pos_ = 0;
+    std::size_t len_ = 0;
+    std::uint64_t base_ = 0;
+    bool ioError_ = false;
+};
+
+enum class Status
+{
+    Batch, ///< the outcome holds at least one record
+    Eof,   ///< clean end of trace (END footer validated)
+    Error, ///< malformed input; see the error message
+};
+
+std::string
+hexByte(std::uint8_t b)
+{
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%02x", b);
+    return buf;
+}
+
+} // namespace
+
+/**
+ * Sequential decoder + prefetch machinery. Decoding (and every
+ * decode-state member) is touched by exactly one thread at a time —
+ * the consumer's, or the prefetch worker's. Results cross threads
+ * only inside an Outcome handed over under the mutex, so the
+ * consumer-visible counters always describe *delivered* batches and
+ * never race the decode ahead of them.
+ */
+struct TraceReader::Impl
+{
+    std::string path;
+    TraceReaderOptions opt;
+    std::FILE *file = nullptr;
+    ByteSource src;
+
+    std::uint8_t version = 0;
+
+    /** One decoded batch plus the cumulative state snapshot taken
+     *  when it was produced. */
+    struct Outcome
+    {
+        Status st = Status::Eof;
+        TraceBatch batch;
+        std::uint64_t requests = 0;
+        std::uint64_t accesses = 0;
+        double totalWork = 0;
+        std::uint64_t hash = kFnvOffsetBasis;
+        std::vector<TraceChunkInfo> newChunks;
+        std::string err;
+    };
+
+    // --- decode state (decoding thread only)
+    Addr prevAddr = 0;
+    bool sawRequest = false;
+    bool sawEnd = false;
+    std::uint64_t decRequests = 0;
+    std::uint64_t decAccesses = 0;
+    double decTotalWork = 0;
+    std::uint64_t decHash = kFnvOffsetBasis;
+    std::uint64_t decChunks = 0;
+    std::vector<std::uint8_t> chunk; ///< current v2 chunk payload
+    std::size_t chunkPos = 0;
+    std::uint64_t chunkReqLeft = 0; ///< header counts not yet decoded
+    std::uint64_t chunkAccLeft = 0;
+    std::vector<TraceChunkInfo> newChunks; ///< since last outcome
+    std::string err;
+
+    // --- consumer-visible state (consumer thread only)
+    std::uint64_t requests = 0;
+    std::uint64_t accesses = 0;
+    double totalWork = 0;
+    std::uint64_t hash = kFnvOffsetBasis;
+    std::vector<TraceChunkInfo> chunkInfos;
+    bool done = false; ///< a terminal outcome has been delivered
+    Status doneStatus = Status::Eof;
+    std::string doneErr;
+
+    // --- prefetch slot (double buffering: one outcome ahead)
+    std::thread worker;
+    std::mutex mu;
+    std::condition_variable cv;
+    bool slotFull = false;
+    bool stop = false;
+    Outcome slot;
+
+    /** Caps hostile chunk allocations; ~0 when the size is unknown
+     *  (non-seekable input) so the record-count bound still governs. */
+    std::uint64_t fileBytes = ~0ull;
+
+    Impl(std::string p, TraceReaderOptions o)
+        : path(std::move(p)), opt(o),
+          file(std::fopen(path.c_str(), "rb")), src(file)
+    {
+        if (opt.batchRecords == 0)
+            opt.batchRecords = 1;
+        if (file && std::fseek(file, 0, SEEK_END) == 0) {
+            long sz = std::ftell(file);
+            if (sz >= 0)
+                fileBytes = static_cast<std::uint64_t>(sz);
+            std::rewind(file);
+        }
+    }
+
+    ~Impl()
+    {
+        if (worker.joinable()) {
+            {
+                std::lock_guard<std::mutex> lock(mu);
+                stop = true;
+            }
+            cv.notify_all();
+            worker.join();
+        }
+        if (file)
+            std::fclose(file);
+    }
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (err.empty())
+            err = "trace " + path + ": " + msg;
+        return false;
+    }
+
+    /** An unexpected end of input: distinguish a failing disk from a
+     *  genuinely short file so the user fixes the right thing. */
+    bool
+    failEof(const std::string &msg)
+    {
+        if (src.ioError())
+            return fail("read error at offset " +
+                        std::to_string(src.offset()) +
+                        " (I/O failure, not a truncated capture)");
+        return fail(msg);
+    }
+
+    bool
+    readHeader()
+    {
+        std::uint8_t magic[4];
+        if (!src.bytes(magic, 4))
+            return failEof("bad magic (not a ubik trace)");
+        if (std::memcmp(magic, kMagic, 4) != 0)
+            return fail("bad magic (not a ubik trace)");
+        std::uint8_t v;
+        if (!src.byte(v))
+            return failEof("truncated (unexpected end of file)");
+        if (v != kVersionV1 && v != kVersionV2)
+            return fail("unsupported version " + std::to_string(v) +
+                        " (expected 1 or 2)");
+        version = v;
+        return true;
+    }
+
+    bool
+    varint(std::uint64_t &out)
+    {
+        out = 0;
+        int shift = 0;
+        for (;;) {
+            std::uint8_t b;
+            if (!src.byte(b))
+                return failEof("truncated (unexpected end of file)");
+            // At shift 63 only payload bit 0 remains; any higher
+            // payload bit OR a continuation bit overflows (and a
+            // continuation would push the next shift past 64 — UB).
+            if (shift >= 63 && (b & 0xfe))
+                return fail("varint overflow at offset " +
+                            std::to_string(src.offset() - 1));
+            out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return true;
+            shift += 7;
+        }
+    }
+
+    bool
+    varintFrom(const std::uint8_t *buf, std::size_t len,
+               std::size_t &pos, std::uint64_t &out)
+    {
+        out = 0;
+        int shift = 0;
+        for (;;) {
+            if (pos >= len)
+                return fail("truncated (unexpected end of file)");
+            std::uint8_t b = buf[pos++];
+            if (shift >= 63 && (b & 0xfe))
+                return fail("varint overflow inside chunk " +
+                            std::to_string(decChunks - 1));
+            out |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+            if (!(b & 0x80))
+                return true;
+            shift += 7;
+        }
+    }
+
+    bool
+    f64From(const std::uint8_t *buf, std::size_t len, std::size_t &pos,
+            double &out)
+    {
+        if (pos + 8 > len)
+            return fail("truncated (unexpected end of file)");
+        std::uint64_t bits = 0;
+        for (int i = 0; i < 8; i++)
+            bits |= static_cast<std::uint64_t>(buf[pos + i]) << (8 * i);
+        pos += 8;
+        std::memcpy(&out, &bits, sizeof(out));
+        return true;
+    }
+
+    void
+    emitRequest(TraceBatch &out, double work)
+    {
+        out.requestPos.push_back(out.accesses.size());
+        out.requestWork.push_back(work);
+        decRequests++;
+        decTotalWork += work;
+        sawRequest = true;
+        decHash = fnv1a64(decHash, kRecRequest);
+        std::uint64_t bits;
+        std::memcpy(&bits, &work, sizeof(bits));
+        decHash = fnv1a64(decHash, bits);
+    }
+
+    void
+    emitAccess(TraceBatch &out, std::int64_t delta)
+    {
+        // Unsigned modular arithmetic: a hostile delta wraps instead
+        // of tripping signed-overflow UB.
+        prevAddr = static_cast<Addr>(prevAddr +
+                                     static_cast<std::uint64_t>(delta));
+        out.accesses.push_back(prevAddr);
+        decAccesses++;
+        decHash = fnv1a64(decHash, kRecAccess);
+        decHash = fnv1a64(decHash, prevAddr);
+    }
+
+    bool
+    checkEnd(std::uint64_t reqs, std::uint64_t accs)
+    {
+        if (reqs != decRequests || accs != decAccesses)
+            return fail("footer mismatch (" + std::to_string(reqs) +
+                        "/" + std::to_string(accs) + " recorded vs " +
+                        std::to_string(decRequests) + "/" +
+                        std::to_string(decAccesses) +
+                        " parsed) — truncated capture?");
+        sawEnd = true;
+        return true;
+    }
+
+    /** v1: decode flat records straight from the file. */
+    Status
+    produceV1(TraceBatch &out)
+    {
+        while (out.records() < opt.batchRecords) {
+            std::uint8_t rec;
+            if (!src.byte(rec)) {
+                failEof("missing END footer — truncated capture?");
+                return Status::Error;
+            }
+            switch (rec) {
+              case kRecRequest: {
+                std::uint8_t raw[8];
+                if (!src.bytes(raw, 8)) {
+                    failEof("truncated (unexpected end of file)");
+                    return Status::Error;
+                }
+                std::size_t pos = 0;
+                double work;
+                f64From(raw, 8, pos, work);
+                emitRequest(out, work);
+                break;
+              }
+              case kRecAccess: {
+                if (!sawRequest) {
+                    fail("access before first request");
+                    return Status::Error;
+                }
+                std::uint64_t zz;
+                if (!varint(zz))
+                    return Status::Error;
+                emitAccess(out, unzigzag(zz));
+                break;
+              }
+              case kRecEnd: {
+                std::uint64_t reqs, accs;
+                if (!varint(reqs) || !varint(accs))
+                    return Status::Error;
+                if (!checkEnd(reqs, accs))
+                    return Status::Error;
+                // Like the legacy reader, ignore trailing bytes.
+                return out.empty() ? Status::Eof : Status::Batch;
+              }
+              default:
+                fail("unknown record type 0x" + hexByte(rec) +
+                     " at offset " + std::to_string(src.offset() - 1));
+                return Status::Error;
+            }
+        }
+        return Status::Batch;
+    }
+
+    /** v2: load + verify the next chunk into `chunk`. */
+    bool
+    loadChunk()
+    {
+        std::uint64_t payloadBytes, nreq, nacc;
+        if (!varint(payloadBytes) || !varint(nreq) || !varint(nacc))
+            return false;
+        std::uint8_t crcRaw[8];
+        if (!src.bytes(crcRaw, 8))
+            return failEof("truncated (unexpected end of file)");
+        std::uint64_t crc = 0;
+        for (int i = 0; i < 8; i++)
+            crc |= static_cast<std::uint64_t>(crcRaw[i]) << (8 * i);
+        // A hostile or bit-flipped header must not drive a giant
+        // allocation: no honest chunk can claim more bytes than its
+        // own records could fill (<= 9 per REQUEST, <= 11 per
+        // ACCESS), nor more payload than the file holds — the latter
+        // is simply truncation, diagnosed before allocating.
+        if (nreq > payloadBytes || nacc > payloadBytes ||
+            payloadBytes > nreq * 9 + nacc * 11)
+            return fail("implausible chunk header (payload " +
+                        std::to_string(payloadBytes) + " bytes, " +
+                        std::to_string(nreq) + " requests, " +
+                        std::to_string(nacc) + " accesses)");
+        if (payloadBytes > fileBytes)
+            return fail("truncated chunk (payload extends past end "
+                        "of file)");
+        chunk.resize(payloadBytes);
+        if (payloadBytes && !src.bytes(chunk.data(), payloadBytes))
+            return failEof("truncated chunk (unexpected end of file)");
+        std::uint64_t h =
+            fnv1a64Bytes(kFnvOffsetBasis, chunk.data(), chunk.size());
+        if (h != crc)
+            return fail("chunk " + std::to_string(decChunks) +
+                        " checksum mismatch — corrupt trace?");
+        chunkPos = 0;
+        chunkReqLeft = nreq;
+        chunkAccLeft = nacc;
+        // Chunks are independently decodable: deltas restart from 0.
+        prevAddr = 0;
+        TraceChunkInfo info;
+        info.requests = nreq;
+        info.accesses = nacc;
+        info.payloadBytes = payloadBytes;
+        newChunks.push_back(info);
+        decChunks++;
+        return true;
+    }
+
+    /** v2: drain records from the current chunk into `out`. */
+    Status
+    drainChunk(TraceBatch &out)
+    {
+        const std::uint8_t *buf = chunk.data();
+        const std::size_t len = chunk.size();
+        while (chunkPos < len && out.records() < opt.batchRecords) {
+            std::uint8_t rec = buf[chunkPos++];
+            switch (rec) {
+              case kRecRequest: {
+                double work;
+                if (!f64From(buf, len, chunkPos, work))
+                    return Status::Error;
+                if (chunkReqLeft == 0) {
+                    fail("chunk " + std::to_string(decChunks - 1) +
+                         " record count mismatch");
+                    return Status::Error;
+                }
+                chunkReqLeft--;
+                emitRequest(out, work);
+                break;
+              }
+              case kRecAccess: {
+                if (!sawRequest) {
+                    fail("access before first request");
+                    return Status::Error;
+                }
+                std::uint64_t zz;
+                if (!varintFrom(buf, len, chunkPos, zz))
+                    return Status::Error;
+                if (chunkAccLeft == 0) {
+                    fail("chunk " + std::to_string(decChunks - 1) +
+                         " record count mismatch");
+                    return Status::Error;
+                }
+                chunkAccLeft--;
+                emitAccess(out, unzigzag(zz));
+                break;
+              }
+              default:
+                fail("unknown record type 0x" + hexByte(rec) +
+                     " inside chunk " + std::to_string(decChunks - 1));
+                return Status::Error;
+            }
+        }
+        if (chunkPos >= len && (chunkReqLeft || chunkAccLeft)) {
+            fail("chunk " + std::to_string(decChunks - 1) +
+                 " record count mismatch");
+            return Status::Error;
+        }
+        return Status::Batch;
+    }
+
+    Status
+    produceV2(TraceBatch &out)
+    {
+        while (out.records() < opt.batchRecords) {
+            if (chunkPos < chunk.size()) {
+                Status st = drainChunk(out);
+                if (st != Status::Batch)
+                    return st;
+                continue;
+            }
+            std::uint8_t rec;
+            if (!src.byte(rec)) {
+                failEof("missing END footer — truncated capture?");
+                return Status::Error;
+            }
+            if (rec == kRecChunk) {
+                if (!loadChunk())
+                    return Status::Error;
+            } else if (rec == kRecEnd) {
+                std::uint64_t reqs, accs;
+                if (!varint(reqs) || !varint(accs))
+                    return Status::Error;
+                if (!checkEnd(reqs, accs))
+                    return Status::Error;
+                return out.empty() ? Status::Eof : Status::Batch;
+            } else {
+                fail("unknown record type 0x" + hexByte(rec) +
+                     " at offset " + std::to_string(src.offset() - 1));
+                return Status::Error;
+            }
+        }
+        return Status::Batch;
+    }
+
+    Outcome
+    produce()
+    {
+        Outcome o;
+        if (sawEnd) {
+            o.st = Status::Eof;
+        } else {
+            o.st = version == kVersionV1 ? produceV1(o.batch)
+                                         : produceV2(o.batch);
+        }
+        if (o.st == Status::Error)
+            o.err = err;
+        o.requests = decRequests;
+        o.accesses = decAccesses;
+        o.totalWork = decTotalWork;
+        o.hash = decHash;
+        o.newChunks = std::move(newChunks);
+        newChunks.clear();
+        return o;
+    }
+
+    /** produce(), with allocation failures converted into a normal
+     *  Error outcome — nothing may throw out of the prefetch thread
+     *  (an escaped exception would std::terminate the process). */
+    Outcome
+    produceSafe()
+    {
+        try {
+            return produce();
+        } catch (const std::exception &e) {
+            // bad_alloc / length_error from a hostile chunk header
+            // that slipped past the plausibility bounds.
+            fail(std::string("decode failure: ") + e.what());
+            Outcome o;
+            o.st = Status::Error;
+            o.err = err;
+            return o;
+        }
+    }
+
+    /** Apply a delivered outcome to the consumer-visible state. */
+    void
+    applyOutcome(Outcome &o, TraceBatch &out)
+    {
+        requests = o.requests;
+        accesses = o.accesses;
+        totalWork = o.totalWork;
+        hash = o.hash;
+        for (const TraceChunkInfo &ci : o.newChunks)
+            chunkInfos.push_back(ci);
+        out = std::move(o.batch);
+        if (o.st != Status::Batch) {
+            done = true;
+            doneStatus = o.st;
+            doneErr = std::move(o.err);
+        }
+    }
+
+    void
+    prefetchLoop()
+    {
+        for (;;) {
+            Outcome o = produceSafe();
+            bool terminal = o.st != Status::Batch;
+            std::unique_lock<std::mutex> lock(mu);
+            cv.wait(lock, [this] { return !slotFull || stop; });
+            if (stop)
+                return;
+            slot = std::move(o);
+            slotFull = true;
+            cv.notify_all();
+            if (terminal)
+                return;
+        }
+    }
+};
+
+TraceReader::TraceReader(const std::string &path, TraceReaderOptions opt)
+    : impl_(std::make_unique<Impl>(path, opt))
+{
+    if (!impl_->file)
+        fatal("cannot open trace file %s", path.c_str());
+    if (!impl_->readHeader())
+        fatal("%s", impl_->err.c_str());
+    if (impl_->opt.prefetch)
+        impl_->worker = std::thread([this] { impl_->prefetchLoop(); });
+}
+
+TraceReader::~TraceReader() = default;
+
+bool
+TraceReader::next(TraceBatch &out)
+{
+    Impl &im = *impl_;
+    out.clear();
+    if (im.done) {
+        if (im.doneStatus == Status::Error)
+            fatal("%s", im.doneErr.c_str());
+        return false;
+    }
+    Impl::Outcome o;
+    if (im.worker.joinable()) {
+        std::unique_lock<std::mutex> lock(im.mu);
+        im.cv.wait(lock, [&im] { return im.slotFull; });
+        o = std::move(im.slot);
+        im.slot = Impl::Outcome{};
+        im.slotFull = false;
+        im.cv.notify_all();
+    } else {
+        o = im.produceSafe();
+    }
+    im.applyOutcome(o, out);
+    if (im.done && im.doneStatus == Status::Error)
+        fatal("%s", im.doneErr.c_str());
+    return !im.done;
+}
+
+std::uint8_t
+TraceReader::version() const
+{
+    return impl_->version;
+}
+
+std::uint64_t
+TraceReader::requests() const
+{
+    return impl_->requests;
+}
+
+std::uint64_t
+TraceReader::accesses() const
+{
+    return impl_->accesses;
+}
+
+double
+TraceReader::totalWork() const
+{
+    return impl_->totalWork;
+}
+
+std::uint64_t
+TraceReader::chunks() const
+{
+    return static_cast<std::uint64_t>(impl_->chunkInfos.size());
+}
+
+const std::vector<TraceChunkInfo> &
+TraceReader::chunkInfo() const
+{
+    return impl_->chunkInfos;
+}
+
+std::uint64_t
+TraceReader::contentHash() const
+{
+    return impl_->hash;
+}
+
+const std::string &
+TraceReader::path() const
+{
+    return impl_->path;
+}
+
+} // namespace ubik

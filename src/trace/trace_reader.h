@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Streaming, batched trace ingestion.
+ *
+ * The v1 reader loaded the whole file into memory and parsed it into
+ * one TraceData; every consumer therefore paid O(file) memory and
+ * start-up latency before the first record. TraceReader replaces that
+ * path: it decodes fixed-size record batches on demand, optionally on
+ * a prefetch thread that keeps one decoded batch ahead of the
+ * consumer (double-buffering), so ingestion overlaps analysis and
+ * memory stays bounded by one batch + one chunk regardless of trace
+ * size. Decoding is strictly sequential in a single thread, so the
+ * delivered batch stream is byte-identical with the prefetcher on or
+ * off and at any batch size — streamed consumption of a trace is
+ * bit-equivalent to the legacy whole-file load by construction.
+ *
+ * The reader accepts both on-disk formats (trace/access_trace.h):
+ * v1 (a flat record stream) and the chunked v2 written by TraceWriter
+ * (per-chunk record counts + checksums, independently decodable
+ * chunks). Malformed input of either version — truncated varints,
+ * overlong varints, bad checksums, count mismatches, missing END
+ * footers — is reported through fatal() with a precise message, and
+ * always from the consumer thread (never from the prefetcher), so
+ * error behaviour is deterministic.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace ubik {
+
+struct TraceData;
+
+/**
+ * One decoded batch: the record interleaving is preserved in
+ * structure-of-arrays form. Request i of the batch begins at
+ * `accesses[requestPos[i]]`; accesses before `requestPos[0]` (or the
+ * whole batch, if it holds no request record) belong to the last
+ * request of an earlier batch. Consecutive equal requestPos entries
+ * are requests with no accesses of their own in this batch.
+ */
+struct TraceBatch
+{
+    /** REQUEST records in batch order (instruction counts). */
+    std::vector<double> requestWork;
+
+    /** Index into `accesses` where each request's accesses begin. */
+    std::vector<std::uint64_t> requestPos;
+
+    /** ACCESS records (line addresses) in batch order. */
+    std::vector<Addr> accesses;
+
+    std::uint64_t records() const
+    {
+        return requestWork.size() + accesses.size();
+    }
+
+    bool empty() const
+    {
+        return requestWork.empty() && accesses.empty();
+    }
+
+    void clear();
+};
+
+/** Ingestion knobs. The defaults suit bulk analysis. */
+struct TraceReaderOptions
+{
+    /** Maximum records (REQUEST + ACCESS) per delivered batch. */
+    std::size_t batchRecords = 1 << 16;
+
+    /** Decode one batch ahead on a worker thread. Never changes the
+     *  delivered records, only when the decode work happens. */
+    bool prefetch = true;
+};
+
+/** Per-chunk metadata collected while reading a v2 trace. */
+struct TraceChunkInfo
+{
+    std::uint64_t requests = 0;
+    std::uint64_t accesses = 0;
+    std::uint64_t payloadBytes = 0;
+};
+
+/** Append one delivered batch to an in-memory trace — the single
+ *  canonical reassembly (readTrace, TraceApp::load, tools). */
+void appendBatch(TraceData &td, const TraceBatch &batch);
+
+/**
+ * Walk one batch's records in stream order: `on_request(work)` at
+ * each request boundary, `on_access(addr)` per access — the single
+ * canonical interleaving (requests with no accesses of their own,
+ * including ones trailing the batch's last access, are delivered in
+ * place; accesses before the first boundary belong to the previous
+ * batch's open request). Record-by-record consumers (the streaming
+ * analyzer, format conversion) use this instead of re-deriving the
+ * requestPos invariants.
+ */
+template <typename OnRequest, typename OnAccess>
+void
+forEachRecord(const TraceBatch &batch, OnRequest &&on_request,
+              OnAccess &&on_access)
+{
+    std::size_t req = 0;
+    for (std::size_t i = 0; i < batch.accesses.size(); i++) {
+        while (req < batch.requestPos.size() &&
+               batch.requestPos[req] == i)
+            on_request(batch.requestWork[req++]);
+        on_access(batch.accesses[i]);
+    }
+    while (req < batch.requestPos.size())
+        on_request(batch.requestWork[req++]);
+}
+
+/** Streaming reader over one `.ubtr` file (v1 or v2). */
+class TraceReader
+{
+  public:
+    /** Opens `path`; fatal() on missing files or bad headers. */
+    explicit TraceReader(const std::string &path,
+                         TraceReaderOptions opt = {});
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /**
+     * Decode the next batch into `out` (previous contents replaced).
+     * @return false at clean end of trace (the END footer validated);
+     *         fatal() on malformed input.
+     */
+    bool next(TraceBatch &out);
+
+    /** On-disk format version (1 or 2). */
+    std::uint8_t version() const;
+
+    /** Records delivered so far (totals once next() returned false). */
+    std::uint64_t requests() const;
+    std::uint64_t accesses() const;
+
+    /** Sum of delivered request instruction counts. */
+    double totalWork() const;
+
+    /** v2 chunks consumed so far (0 for v1 traces). */
+    std::uint64_t chunks() const;
+
+    /** Per-chunk metadata consumed so far (empty for v1). */
+    const std::vector<TraceChunkInfo> &chunkInfo() const;
+
+    /**
+     * FNV-1a digest of the decoded logical record stream. Identical
+     * for a v1 trace and its v2 conversion (the hash covers records,
+     * not bytes); complete once next() has returned false. This is
+     * the content hash ResultCache keys embed for trace-backed apps.
+     */
+    std::uint64_t contentHash() const;
+
+    const std::string &path() const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+} // namespace ubik

@@ -111,9 +111,28 @@ BatchApp::BatchApp(BatchAppParams params, std::uint32_t instance, Rng rng)
     base_ = static_cast<Addr>(instance + 64) << 40;
 }
 
+void
+BatchApp::bindTrace(std::shared_ptr<const TraceData> trace)
+{
+    ubik_assert(trace != nullptr);
+    if (trace->accesses.empty())
+        fatal("BatchApp::bindTrace: trace has no accesses");
+    trace_ = std::move(trace);
+    cursor_ = 0;
+    // Shift by (instance << 40): instance 0 replays the recorded
+    // addresses verbatim, later instances land in disjoint regions.
+    // base_ is (instance + 64) << 40.
+    traceSalt_ = base_ - (static_cast<Addr>(64) << 40);
+}
+
 Addr
 BatchApp::nextAddr()
 {
+    if (trace_) {
+        Addr a = traceSalt_ + trace_->accesses[cursor_];
+        cursor_ = (cursor_ + 1) % trace_->accesses.size();
+        return a;
+    }
     switch (params_.cls) {
       case BatchClass::Insensitive:
       case BatchClass::Friendly:

@@ -19,11 +19,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/types.h"
+#include "trace/access_trace.h"
 
 namespace ubik {
 
@@ -89,12 +91,29 @@ class BatchApp
     /** Next line address. */
     Addr nextAddr();
 
+    /**
+     * Switch to trace-replay mode: the recorded access stream loops
+     * forever, ignoring any request structure (batch apps have none).
+     * Addresses are shifted by (instance << 40) — instance 0 replays
+     * the captured addresses exactly, further instances stay
+     * disjoint. Timing parameters (apki, mlp, baseIpc) still come
+     * from params(). fatal() on a trace with no accesses.
+     */
+    void bindTrace(std::shared_ptr<const TraceData> trace);
+
+    /** Whether this app replays a trace. */
+    bool replaying() const { return trace_ != nullptr; }
+
   private:
     BatchAppParams params_;
     Rng rng_;
     ZipfDistribution zipf_;
     Addr base_;
-    std::uint64_t cursor_ = 0; ///< scan/stream position
+    std::uint64_t cursor_ = 0; ///< scan/stream/replay position
+
+    /** Replay mode (bindTrace). */
+    std::shared_ptr<const TraceData> trace_;
+    Addr traceSalt_ = 0; ///< per-instance address offset
 };
 
 } // namespace ubik

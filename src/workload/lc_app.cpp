@@ -171,9 +171,10 @@ LcApp::bindTrace(std::shared_ptr<const TraceData> trace)
     if (trace->requests() == 0)
         fatal("LcApp::bindTrace: trace has no requests");
     trace_ = std::move(trace);
-    // Keep replayed instances disjoint the same way generated ones
-    // are: offset the whole trace into this instance's region.
-    traceSalt_ = hotBase_;
+    // Shift by (instance << 40): instance 0 replays the recorded
+    // addresses verbatim (capture fidelity), later instances land in
+    // disjoint regions. hotBase_ is (instance + 1) << 40.
+    traceSalt_ = hotBase_ - (static_cast<Addr>(1) << 40);
 }
 
 double
@@ -181,7 +182,10 @@ LcApp::startRequest(ReqId id)
 {
     curReq_ = id;
     if (trace_) {
-        traceReq_ = id % trace_->requests();
+        // Replay in capture order regardless of the caller's id
+        // scheme: the k-th startRequest replays the k-th recorded
+        // request, wrapping past the end of the capture.
+        traceReq_ = traceStarted_++ % trace_->requests();
         traceCursor_ = trace_->requestStart[traceReq_];
         return trace_->requestWork[traceReq_];
     }

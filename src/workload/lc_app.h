@@ -118,13 +118,16 @@ class LcApp
     Addr nextAddr();
 
     /**
-     * Switch to trace-replay mode: requests and accesses come from
-     * the captured trace (looping when the simulator needs more
-     * requests than the capture holds) instead of the synthetic
-     * generator. Addresses are salted by the instance id so multiple
-     * instances replaying the same trace stay disjoint, as in the
-     * paper's setup. Timing parameters (mlp, baseIpc) still come
-     * from params(); apki and the footprint knobs are ignored.
+     * Switch to trace-replay mode: each startRequest() replays the
+     * next recorded request in capture order (looping when the
+     * simulator needs more requests than the capture holds) instead
+     * of sampling the synthetic generator. Every address is shifted
+     * by (instance << 40), so instance 0 replays the captured
+     * addresses *exactly* — capture-then-replay reproduces a direct
+     * simulation bit-for-bit — while further instances of the same
+     * trace stay in disjoint address spaces, as in the paper's setup.
+     * Timing parameters (mlp, baseIpc) still come from params(); apki
+     * and the footprint knobs are ignored.
      *
      * fatal() on an empty trace.
      */
@@ -144,9 +147,10 @@ class LcApp
 
     /** Replay mode (bindTrace). */
     std::shared_ptr<const TraceData> trace_;
-    std::uint64_t traceReq_ = 0;    ///< request index within the trace
-    std::uint64_t traceCursor_ = 0; ///< next access within the trace
-    Addr traceSalt_ = 0;            ///< per-instance address offset
+    std::uint64_t traceReq_ = 0;     ///< trace request being replayed
+    std::uint64_t traceStarted_ = 0; ///< startRequest calls so far
+    std::uint64_t traceCursor_ = 0;  ///< next access within the trace
+    Addr traceSalt_ = 0;             ///< per-instance address offset
 };
 
 } // namespace ubik

@@ -14,11 +14,13 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "workload/batch_app.h"
 #include "workload/lc_app.h"
+#include "workload/trace_app.h"
 
 namespace ubik {
 
@@ -34,6 +36,21 @@ struct LcConfig
 {
     LcAppParams app;
     double load = 0.2; ///< offered load rho = lambda/mu
+
+    /**
+     * Trace-backed replay. Empty: the three instances run the
+     * synthetic generator from `app`. One entry: all three instances
+     * replay that trace (disjoint via per-instance address salting).
+     * Three entries: per-instance traces (what capture-fidelity runs
+     * use — each instance replays the stream it would have
+     * generated). `app` still supplies the timing model (mlp,
+     * baseIpc) and drives the baseline calibration, so captured-from-
+     * preset traces share baselines — and therefore cached results —
+     * with their preset; for external traces derive calibrated
+     * params from `ubik_trace --analyze` first. The traces' content
+     * hashes enter the ResultCache key (sim/result_cache.h).
+     */
+    std::vector<std::shared_ptr<const TraceApp>> traces;
 };
 
 /** One full six-core mix: 3 LC instances + 3 batch apps. */

@@ -8,12 +8,23 @@ TraceData
 captureLcTrace(const LcAppParams &params, std::uint64_t requests,
                std::uint64_t seed, std::uint32_t instance)
 {
+    return captureLcTrace(params, requests, Rng(seed), instance);
+}
+
+TraceData
+captureLcTrace(const LcAppParams &params, std::uint64_t requests,
+               Rng rng, std::uint32_t instance)
+{
     ubik_assert(requests > 0);
-    LcApp app(params, instance, Rng(seed));
+    LcApp app(params, instance, rng);
     TraceData td;
     td.requestWork.reserve(requests);
     td.requestStart.reserve(requests);
-    for (ReqId r = 0; r < requests; r++) {
+    // Request ids run 1..requests: Cmp::startRequest pre-increments
+    // its per-core counter, and the private-region address layout
+    // depends on the id, so the capture must issue the same ones to
+    // record the same stream a simulated core would generate.
+    for (ReqId r = 1; r <= requests; r++) {
         double work = app.startRequest(r);
         td.requestWork.push_back(work);
         td.requestStart.push_back(td.accesses.size());
@@ -28,8 +39,15 @@ TraceData
 captureBatchTrace(const BatchAppParams &params, std::uint64_t accesses,
                   std::uint64_t seed, std::uint32_t instance)
 {
+    return captureBatchTrace(params, accesses, Rng(seed), instance);
+}
+
+TraceData
+captureBatchTrace(const BatchAppParams &params, std::uint64_t accesses,
+                  Rng rng, std::uint32_t instance)
+{
     ubik_assert(accesses > 0);
-    BatchApp app(params, instance, Rng(seed));
+    BatchApp app(params, instance, rng);
     TraceData td;
     // One pseudo-request spanning the whole capture; instructions
     // derived from the APKI so TraceData::apki() stays meaningful.

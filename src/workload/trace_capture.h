@@ -4,11 +4,19 @@
  *
  * Records the exact per-request LLC access stream an LcApp (or the
  * request-less stream of a BatchApp) would feed the simulator, into
- * the in-memory TraceData form the analyzer and advisor consume.
- * Downstream users with real workloads produce the same format from
- * their own tools (the format is documented in trace/access_trace.h);
- * these helpers make the pipeline self-hosting for the five paper
- * presets, and give tests a ground-truth generator.
+ * the in-memory TraceData form the analyzer, advisor, and TraceApp
+ * replay consume. Downstream users with real workloads produce the
+ * same format from their own tools (the format is documented in
+ * trace/access_trace.h); these helpers make the pipeline self-hosting
+ * for the five paper presets, and give tests a ground-truth
+ * generator.
+ *
+ * Fidelity contract: request ids run 1..requests, exactly as
+ * Cmp::startRequest issues them, and the Rng overloads accept the
+ * very generator Cmp would hand the app (Cmp::appRng). A capture
+ * taken that way and replayed through bindTrace reproduces the
+ * direct simulation's access stream bit-for-bit
+ * (tests/integration/trace_fidelity_test.cpp).
  */
 
 #pragma once
@@ -32,6 +40,12 @@ TraceData captureLcTrace(const LcAppParams &params,
                          std::uint64_t requests, std::uint64_t seed,
                          std::uint32_t instance = 0);
 
+/** As above, with an explicit generator (e.g. Cmp::appRng for
+ *  bit-exact capture of what a simulated core would generate). */
+TraceData captureLcTrace(const LcAppParams &params,
+                         std::uint64_t requests, Rng rng,
+                         std::uint32_t instance = 0);
+
 /**
  * Capture `accesses` accesses of a batch app as one synthetic
  * "request" (batch apps have no request structure; per-request
@@ -39,6 +53,11 @@ TraceData captureLcTrace(const LcAppParams &params,
  */
 TraceData captureBatchTrace(const BatchAppParams &params,
                             std::uint64_t accesses, std::uint64_t seed,
+                            std::uint32_t instance = 0);
+
+/** As above, with an explicit generator. */
+TraceData captureBatchTrace(const BatchAppParams &params,
+                            std::uint64_t accesses, Rng rng,
                             std::uint32_t instance = 0);
 
 } // namespace ubik

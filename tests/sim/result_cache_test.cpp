@@ -110,6 +110,44 @@ TEST(ResultCacheKey, EverySchemeFieldChangesTheKey)
     }
 }
 
+TEST(ResultCacheKey, TraceBackingEntersTheKeyByContent)
+{
+    const SchemeUnderTest sut = baseSut();
+    const std::string base =
+        mixResultKey(cacheTestCfg(), baseMix(), sut, 1, true);
+
+    auto makeTraceApp = [](Addr salt) {
+        auto td = std::make_shared<TraceData>();
+        td->requestWork = {1000.0, 2000.0};
+        td->requestStart = {0, 2};
+        td->accesses = {salt + 1, salt + 2, salt + 3};
+        return TraceApp::fromData(std::move(td), "t");
+    };
+
+    // Backing the same mix with a trace changes the key...
+    MixSpec traced = baseMix();
+    traced.lc.traces.push_back(makeTraceApp(0));
+    const std::string k1 =
+        mixResultKey(cacheTestCfg(), traced, sut, 1, true);
+    EXPECT_NE(k1, base);
+
+    // ...the key depends on the records, not the TraceApp object...
+    MixSpec traced2 = baseMix();
+    traced2.lc.traces.push_back(makeTraceApp(0));
+    EXPECT_EQ(mixResultKey(cacheTestCfg(), traced2, sut, 1, true), k1);
+
+    // ...different records give a different key...
+    MixSpec other = baseMix();
+    other.lc.traces.push_back(makeTraceApp(100));
+    EXPECT_NE(mixResultKey(cacheTestCfg(), other, sut, 1, true), k1);
+
+    // ...and so does the shared-vs-per-instance assignment.
+    MixSpec per = baseMix();
+    for (int i = 0; i < 3; i++)
+        per.lc.traces.push_back(makeTraceApp(0));
+    EXPECT_NE(mixResultKey(cacheTestCfg(), per, sut, 1, true), k1);
+}
+
 TEST(ResultCacheKey, MixExperimentSeedAndSchemaChangeTheKey)
 {
     const ExperimentConfig cfg = cacheTestCfg();

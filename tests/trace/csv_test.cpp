@@ -67,6 +67,65 @@ TEST(CsvWriter, QuotesSpecialCharacters)
     EXPECT_EQ(lines[0], "plain,\"with,comma\",\"with\"\"quote\"");
 }
 
+std::string
+readWhole(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+TEST(CsvWriter, Rfc4180EmbeddedQuotesAreDoubled)
+{
+    std::string path = tmpPath("rfc_quotes.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"\"", "a\"b\"c", "\"\""});
+    }
+    EXPECT_EQ(readWhole(path),
+              "\"\"\"\",\"a\"\"b\"\"c\",\"\"\"\"\"\"\n");
+}
+
+TEST(CsvWriter, Rfc4180EmbeddedNewlinesStayInsideOneField)
+{
+    std::string path = tmpPath("rfc_newline.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"a\nb", "c\r\nd", "e\rf"});
+        csv.row(std::vector<std::string>{"next"});
+        EXPECT_EQ(csv.rows(), 2u);
+    }
+    // LF, CRLF, and bare CR are all line breaks per RFC 4180 and must
+    // be quoted; the logical row count stays 2.
+    EXPECT_EQ(readWhole(path),
+              "\"a\nb\",\"c\r\nd\",\"e\rf\"\nnext\n");
+}
+
+TEST(CsvWriter, Rfc4180EmptyFieldsStayUnquoted)
+{
+    std::string path = tmpPath("rfc_empty.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{"", "mid", ""});
+        csv.row(std::vector<std::string>{"", "", ""});
+    }
+    EXPECT_EQ(readWhole(path), ",mid,\n,,\n");
+}
+
+TEST(CsvWriter, Rfc4180CommaOnlyAndMixedFields)
+{
+    std::string path = tmpPath("rfc_mixed.csv");
+    {
+        CsvWriter csv(path);
+        csv.row(std::vector<std::string>{",", "a,b,", " spaced ",
+                                         "quote\"and,comma"});
+    }
+    // Leading/trailing spaces are data per RFC 4180: never quoted or
+    // trimmed.
+    EXPECT_EQ(readWhole(path),
+              "\",\",\"a,b,\", spaced ,\"quote\"\"and,comma\"\n");
+}
+
 TEST(CsvWriter, UnwritablePathIsFatal)
 {
     EXPECT_EXIT(CsvWriter("/nonexistent-dir/x.csv"),

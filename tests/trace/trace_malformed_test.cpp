@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Malformed-input hardening for the trace decoders (satellite of the
+ * streaming-ingestion refactor): truncated varints, overlong/overflow
+ * varints, hostile address deltas, missing END footers, corrupt v2
+ * chunks (checksum flips, count mismatches, short payloads), and
+ * byte-level truncation sweeps must all produce a clean fatal() with
+ * a precise message — never UB, a hang, or a silently wrong trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/access_trace.h"
+#include "trace/trace_reader.h"
+#include "workload/trace_capture.h"
+
+namespace ubik {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+std::vector<std::uint8_t>
+readBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    return std::vector<std::uint8_t>(
+        std::istreambuf_iterator<char>(in), {});
+}
+
+void
+writeBytes(const std::string &path, const std::vector<std::uint8_t> &b)
+{
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char *>(b.data()),
+              static_cast<std::streamsize>(b.size()));
+}
+
+TraceData
+smallTrace()
+{
+    TraceData td;
+    for (int r = 0; r < 4; r++) {
+        td.requestWork.push_back(1000.0 * (r + 1));
+        td.requestStart.push_back(td.accesses.size());
+        for (int i = 0; i < 5; i++)
+            td.accesses.push_back(
+                static_cast<Addr>(r * 100 + i * 7 + 3));
+    }
+    return td;
+}
+
+/** A valid small v2 file's bytes. */
+std::vector<std::uint8_t>
+v2Bytes(const std::string &tag)
+{
+    std::string path = tmpPath(tag + ".ubtr");
+    writeTrace(smallTrace(), path);
+    return readBytes(path);
+}
+
+using TraceMalformedDeath = ::testing::Test;
+
+TEST(TraceMalformedDeath, OverlongVarintIsOverflowNotUB)
+{
+    // 10 continuation bytes with payload bits beyond 2^64: must be
+    // the "varint overflow" error, not a silent wrap or shift UB.
+    std::vector<std::uint8_t> b = {'U', 'B', 'T', 'R', 1,
+                                   // REQUEST work=1.0
+                                   0x01, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f,
+                                   0x02};
+    for (int i = 0; i < 9; i++)
+        b.push_back(0xff);
+    b.push_back(0x7f);
+    std::string path = tmpPath("overlong.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "varint overflow");
+}
+
+TEST(TraceMalformedDeath, ContinuingTenthVarintByteIsOverflowNotUB)
+{
+    // 10 bare continuation bytes (0x80: no payload in 0x7e) followed
+    // by a terminator: a naive guard that only checks payload bits
+    // would keep shifting past 64 bits — UB. Must be the overflow
+    // error.
+    std::vector<std::uint8_t> b = {'U', 'B', 'T', 'R', 1,
+                                   // REQUEST work=1.0
+                                   0x01, 0, 0, 0, 0, 0, 0, 0xf0, 0x3f,
+                                   0x02};
+    for (int i = 0; i < 10; i++)
+        b.push_back(0x80);
+    b.push_back(0x00);
+    std::string path = tmpPath("contbyte.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "varint overflow");
+}
+
+TEST(TraceMalformed, MaxVarintStillDecodes)
+{
+    // The guard must not reject the legitimate 10-byte encoding of
+    // 2^64-1: a +2^63 delta reads as INT64_MIN, which zigzags to all
+    // ones — 9 continuation bytes + final byte 0x01 at shift 63.
+    TraceData td;
+    td.requestWork.push_back(1.0);
+    td.requestStart.push_back(0);
+    td.accesses = {0, 1ull << 63, 0};
+    std::string path = tmpPath("maxvarint.ubtr");
+    writeTrace(td, path);
+    EXPECT_EQ(readTrace(path).accesses, td.accesses);
+}
+
+TEST(TraceMalformed, MaxDeltasWrapDeterministically)
+{
+    // Deltas that drive the running address past 2^63 and back: the
+    // decoder's modular arithmetic must reproduce the writer's
+    // addresses exactly (this is defined behaviour, not an error).
+    TraceData td;
+    td.requestWork.push_back(10.0);
+    td.requestStart.push_back(0);
+    td.accesses = {0,
+                   ~0ull >> 1,                // +2^63-1
+                   (~0ull >> 1) + (1ull << 62), // further up
+                   5,                         // huge negative delta
+                   ~0ull};                    // max address
+    for (const char *fmt : {"v1", "v2"}) {
+        std::string path = tmpPath(std::string("wrap.") + fmt +
+                                   ".ubtr");
+        writeTrace(td, path,
+                   TraceWriterOptions{
+                       static_cast<std::uint8_t>(fmt[1] - '0'),
+                       64 << 10});
+        TraceData rd = readTrace(path);
+        EXPECT_EQ(rd.accesses, td.accesses) << fmt;
+    }
+}
+
+TEST(TraceMalformedDeath, V2MissingEndFooter)
+{
+    auto b = v2Bytes("noend");
+    b.resize(b.size() - 3); // chop the END record
+    std::string path = tmpPath("noend_cut.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "truncated|missing END");
+}
+
+TEST(TraceMalformedDeath, V2ChecksumFlipIsDetected)
+{
+    auto b = v2Bytes("crc");
+    // Flip one payload byte near the middle of the file: the chunk
+    // checksum must catch it before any record is believed.
+    b[b.size() / 2] ^= 0x40;
+    std::string path = tmpPath("crc_flip.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path),
+                 "checksum mismatch|record count mismatch|truncated|"
+                 "unknown record|varint overflow|footer mismatch");
+}
+
+TEST(TraceMalformedDeath, V2HeaderCountMismatch)
+{
+    auto b = v2Bytes("count");
+    // Byte 5 is the CHUNK tag; bytes 6.. are payloadBytes, then the
+    // request count varint. This trace is small, so each varint is
+    // one byte; bump the request count and fix nothing else.
+    ASSERT_EQ(b[5], 0x04);
+    std::size_t pos = 6;
+    while (b[pos] & 0x80)
+        pos++;
+    pos++; // now at the request-count varint
+    ASSERT_LT(b[pos], 0x7f);
+    b[pos]++;
+    std::string path = tmpPath("count_bump.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "record count mismatch");
+}
+
+TEST(TraceMalformedDeath, ImplausibleChunkHeaderRejectedBeforeAllocating)
+{
+    // A CHUNK header claiming a terabyte payload inside a tiny file
+    // must fail the plausibility bounds (file size, record-derived
+    // byte limits) up front — not attempt the allocation.
+    std::vector<std::uint8_t> b = {'U', 'B', 'T', 'R', 2, 0x04};
+    std::uint64_t huge = 1ull << 40;
+    while (huge >= 0x80) {
+        b.push_back(static_cast<std::uint8_t>(huge & 0x7f) | 0x80);
+        huge >>= 7;
+    }
+    b.push_back(static_cast<std::uint8_t>(huge));
+    b.push_back(1); // requests in chunk
+    b.push_back(1); // accesses in chunk
+    for (int i = 0; i < 8; i++)
+        b.push_back(0); // checksum (never reached)
+    std::string path = tmpPath("hugechunk.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "implausible chunk header");
+}
+
+TEST(TraceMalformedDeath, V2TruncatedChunkPayload)
+{
+    auto b = v2Bytes("short");
+    b.resize(b.size() / 2); // cut inside the chunk payload
+    std::string path = tmpPath("short_cut.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "truncated");
+}
+
+TEST(TraceMalformedDeath, V2UnknownTopLevelRecord)
+{
+    TraceData td = smallTrace();
+    std::string base = tmpPath("unk.ubtr");
+    writeTrace(td, base);
+    auto b = readBytes(base);
+    ASSERT_EQ(b[5], 0x04);
+    b[5] = 0x5a; // neither CHUNK nor END
+    std::string path = tmpPath("unk_rec.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "unknown record");
+}
+
+TEST(TraceMalformedDeath, TruncationSweepAlwaysCleanlyFatal)
+{
+    // Every strict prefix of a valid v2 file must die with a precise
+    // decoder message (matched below), not hang, crash, or return.
+    auto b = v2Bytes("sweep");
+    ASSERT_GT(b.size(), 16u);
+    for (std::size_t cut = 0; cut < b.size();
+         cut += 1 + b.size() / 24) {
+        auto prefix = b;
+        prefix.resize(cut);
+        std::string path = tmpPath("sweep_cut.ubtr");
+        writeBytes(path, prefix);
+        EXPECT_DEATH(readTrace(path),
+                     "bad magic|unsupported version|truncated|"
+                     "missing END")
+            << "cut at " << cut;
+    }
+}
+
+TEST(TraceMalformedDeath, V1TruncationSweepAlwaysCleanlyFatal)
+{
+    std::string base = tmpPath("sweep1.ubtr");
+    writeTrace(smallTrace(), base, TraceWriterOptions{1, 64 << 10});
+    auto b = readBytes(base);
+    for (std::size_t cut = 0; cut < b.size();
+         cut += 1 + b.size() / 16) {
+        auto prefix = b;
+        prefix.resize(cut);
+        std::string path = tmpPath("sweep1_cut.ubtr");
+        writeBytes(path, prefix);
+        EXPECT_DEATH(readTrace(path),
+                     "bad magic|unsupported version|truncated|"
+                     "missing END|access before first request")
+            << "cut at " << cut;
+    }
+}
+
+TEST(TraceMalformedDeath, AccessBeforeRequestInsideChunk)
+{
+    // Handcraft a v2 chunk whose first record is an ACCESS.
+    std::vector<std::uint8_t> payload = {0x02, 0x02}; // delta +1
+    std::vector<std::uint8_t> b = {'U', 'B', 'T', 'R', 2, 0x04};
+    b.push_back(static_cast<std::uint8_t>(payload.size()));
+    b.push_back(0); // requests in chunk
+    b.push_back(1); // accesses in chunk
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (std::uint8_t c : payload) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    for (int i = 0; i < 8; i++)
+        b.push_back(static_cast<std::uint8_t>(h >> (8 * i)));
+    b.insert(b.end(), payload.begin(), payload.end());
+    b.push_back(0x03);
+    b.push_back(0);
+    b.push_back(1);
+    std::string path = tmpPath("orphan2.ubtr");
+    writeBytes(path, b);
+    EXPECT_DEATH(readTrace(path), "access before first request");
+}
+
+TEST(TraceMalformedDeath, StreamedReaderReportsSameErrors)
+{
+    // The error surface is identical through the batched/prefetching
+    // path (errors are raised from the consumer thread).
+    auto b = v2Bytes("streamerr");
+    b[b.size() / 2] ^= 0x10;
+    std::string path = tmpPath("streamerr_cut.ubtr");
+    writeBytes(path, b);
+    auto readStreamed = [&path] {
+        TraceReaderOptions opt;
+        opt.batchRecords = 3;
+        opt.prefetch = true;
+        TraceReader reader(path, opt);
+        TraceBatch batch;
+        while (reader.next(batch)) {
+        }
+    };
+    EXPECT_DEATH(readStreamed(),
+                 "checksum mismatch|record count mismatch|truncated|"
+                 "unknown record|varint overflow|footer mismatch");
+}
+
+} // namespace
+} // namespace ubik

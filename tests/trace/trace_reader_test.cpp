@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the streaming trace reader and the chunked v2 format:
+ * v1/v2 round trips, batch-size and prefetch invariance (streamed
+ * ingestion must be bit-identical to the whole-file load), chunk
+ * metadata, content hashing, and the streaming analyzer path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/access_trace.h"
+#include "trace/trace_analyzer.h"
+#include "trace/trace_reader.h"
+#include "workload/trace_capture.h"
+#include "common/rng.h"
+
+namespace ubik {
+namespace {
+
+std::string
+tmpPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TraceData
+sampleTrace()
+{
+    LcAppParams p = lc_presets::shore().scaled(16.0);
+    return captureLcTrace(p, 60, /*seed=*/7);
+}
+
+void
+expectEqual(const TraceData &a, const TraceData &b)
+{
+    ASSERT_EQ(a.requestWork.size(), b.requestWork.size());
+    for (std::size_t i = 0; i < a.requestWork.size(); i++)
+        EXPECT_DOUBLE_EQ(a.requestWork[i], b.requestWork[i]) << i;
+    EXPECT_EQ(a.requestStart, b.requestStart);
+    EXPECT_EQ(a.accesses, b.accesses);
+}
+
+/** Accumulate a reader's batches back into one TraceData. */
+TraceData
+drain(TraceReader &reader)
+{
+    TraceData td;
+    TraceBatch batch;
+    while (reader.next(batch)) {
+        std::uint64_t base = td.accesses.size();
+        for (std::size_t i = 0; i < batch.requestWork.size(); i++) {
+            td.requestWork.push_back(batch.requestWork[i]);
+            td.requestStart.push_back(base + batch.requestPos[i]);
+        }
+        td.accesses.insert(td.accesses.end(), batch.accesses.begin(),
+                           batch.accesses.end());
+    }
+    return td;
+}
+
+TEST(TraceReader, V2RoundTripsAndMatchesV1)
+{
+    TraceData td = sampleTrace();
+    std::string v1 = tmpPath("rt.v1.ubtr");
+    std::string v2 = tmpPath("rt.v2.ubtr");
+    writeTrace(td, v1, TraceWriterOptions{1, 64 << 10});
+    writeTrace(td, v2);
+
+    TraceData fromV1 = readTrace(v1);
+    TraceData fromV2 = readTrace(v2);
+    expectEqual(td, fromV1);
+    expectEqual(td, fromV2);
+}
+
+TEST(TraceReader, ContentHashIsEncodingIndependent)
+{
+    TraceData td = sampleTrace();
+    std::string v1 = tmpPath("hash.v1.ubtr");
+    std::string v2 = tmpPath("hash.v2.ubtr");
+    std::string v2small = tmpPath("hash.v2s.ubtr");
+    writeTrace(td, v1, TraceWriterOptions{1, 64 << 10});
+    writeTrace(td, v2);
+    writeTrace(td, v2small, TraceWriterOptions{2, 128});
+
+    std::uint64_t hashes[3];
+    const char *paths[3] = {v1.c_str(), v2.c_str(), v2small.c_str()};
+    for (int i = 0; i < 3; i++) {
+        TraceReader r(paths[i]);
+        drain(r);
+        hashes[i] = r.contentHash();
+    }
+    EXPECT_EQ(hashes[0], hashes[1]);
+    EXPECT_EQ(hashes[0], hashes[2]);
+
+    // Any record change moves the hash.
+    TraceData other = td;
+    other.accesses.back() ^= 1;
+    std::string mut = tmpPath("hash.mut.ubtr");
+    writeTrace(other, mut);
+    TraceReader r(mut);
+    drain(r);
+    EXPECT_NE(r.contentHash(), hashes[0]);
+}
+
+TEST(TraceReader, StreamedEqualsWholeFileAtAnyBatchSizeAndPrefetch)
+{
+    TraceData td = sampleTrace();
+    std::string v2 = tmpPath("stream.v2.ubtr");
+    writeTrace(td, v2, TraceWriterOptions{2, 4096}); // many chunks
+
+    for (std::size_t batch : {std::size_t(1), std::size_t(3),
+                              std::size_t(64), std::size_t(1000),
+                              std::size_t(1) << 16}) {
+        for (bool prefetch : {false, true}) {
+            TraceReaderOptions opt;
+            opt.batchRecords = batch;
+            opt.prefetch = prefetch;
+            TraceReader reader(v2, opt);
+            TraceData streamed = drain(reader);
+            expectEqual(td, streamed);
+            EXPECT_EQ(reader.requests(), td.requests());
+            EXPECT_EQ(reader.accesses(), td.accesses.size());
+        }
+    }
+}
+
+TEST(TraceReader, ChunkMetadataAccountsForEveryRecord)
+{
+    TraceData td = sampleTrace();
+    std::string v2 = tmpPath("chunks.v2.ubtr");
+    writeTrace(td, v2, TraceWriterOptions{2, 2048});
+
+    TraceReader reader(v2);
+    drain(reader);
+    EXPECT_EQ(reader.version(), 2);
+    EXPECT_GT(reader.chunks(), 4u); // 2KB chunks => many
+    std::uint64_t reqs = 0, accs = 0;
+    for (const TraceChunkInfo &c : reader.chunkInfo()) {
+        reqs += c.requests;
+        accs += c.accesses;
+        EXPECT_GT(c.payloadBytes, 0u);
+    }
+    EXPECT_EQ(reqs, td.requests());
+    EXPECT_EQ(accs, td.accesses.size());
+}
+
+TEST(TraceReader, V1ReportsNoChunks)
+{
+    TraceData td = sampleTrace();
+    std::string v1 = tmpPath("nochunk.v1.ubtr");
+    writeTrace(td, v1, TraceWriterOptions{1, 64 << 10});
+    TraceReader reader(v1);
+    drain(reader);
+    EXPECT_EQ(reader.version(), 1);
+    EXPECT_EQ(reader.chunks(), 0u);
+}
+
+TEST(TraceReader, EmptyTraceRoundTrips)
+{
+    TraceData empty;
+    std::string path = tmpPath("empty.ubtr");
+    writeTrace(empty, path);
+    TraceReader reader(path);
+    TraceBatch batch;
+    EXPECT_FALSE(reader.next(batch));
+    EXPECT_FALSE(reader.next(batch)); // repeated EOF stays EOF
+    EXPECT_EQ(reader.requests(), 0u);
+    EXPECT_EQ(reader.accesses(), 0u);
+}
+
+TEST(TraceReader, ReportsTotalWork)
+{
+    TraceData td = sampleTrace();
+    std::string v2 = tmpPath("work.v2.ubtr");
+    writeTrace(td, v2);
+    TraceReader reader(v2);
+    drain(reader);
+    EXPECT_DOUBLE_EQ(reader.totalWork(), td.totalWork());
+}
+
+TEST(TraceAnalyzerStreaming, StreamedAnalysisMatchesInMemory)
+{
+    TraceData td = sampleTrace();
+    std::string v2 = tmpPath("an.v2.ubtr");
+    writeTrace(td, v2, TraceWriterOptions{2, 4096});
+
+    TraceAnalysis whole = analyzeTrace(td);
+    for (std::size_t batch :
+         {std::size_t(1), std::size_t(513), std::size_t(1) << 16}) {
+        for (bool prefetch : {false, true}) {
+            TraceReaderOptions opt;
+            opt.batchRecords = batch;
+            opt.prefetch = prefetch;
+            TraceAnalysis streamed =
+                analyzeTraceFile(v2, 1 << 22, opt);
+            EXPECT_EQ(streamed.accesses, whole.accesses);
+            EXPECT_EQ(streamed.requests, whole.requests);
+            EXPECT_DOUBLE_EQ(streamed.totalWork, whole.totalWork);
+            EXPECT_EQ(streamed.coldMisses, whole.coldMisses);
+            EXPECT_EQ(streamed.footprintLines, whole.footprintLines);
+            EXPECT_EQ(streamed.distanceHistogram,
+                      whole.distanceHistogram);
+            EXPECT_EQ(streamed.hitsByRequestsAgo,
+                      whole.hitsByRequestsAgo);
+            EXPECT_DOUBLE_EQ(streamed.crossRequestReuse,
+                             whole.crossRequestReuse);
+        }
+    }
+}
+
+TEST(TraceAnalyzerStreaming, InMemoryAnalysisFillsRequestTotals)
+{
+    TraceData td = sampleTrace();
+    TraceAnalysis an = analyzeTrace(td);
+    EXPECT_EQ(an.requests, td.requests());
+    EXPECT_DOUBLE_EQ(an.totalWork, td.totalWork());
+    EXPECT_NEAR(an.apki(), td.apki(), 1e-12);
+}
+
+} // namespace
+} // namespace ubik

@@ -103,6 +103,11 @@ main(int argc, char **argv)
     auto &lc = cli.flag("lc", "masstree",
                         "LC workload: xapian, masstree, moses, shore, "
                         "specjbb");
+    auto &lc_trace =
+        cli.flag("lc-trace", "",
+                 "replay this .ubtr trace as the LC workload (all "
+                 "three instances, disjoint address spaces); --lc "
+                 "still supplies the timing model and baselines");
     auto &load = cli.flag("load", 0.2, "offered load (0, 1)");
     auto &policy_name =
         cli.flag("policy", "Ubik",
@@ -174,11 +179,25 @@ main(int argc, char **argv)
     MixSpec spec;
     spec.lc.app = lc_presets::byName(lc.value);
     spec.lc.load = load.value;
+    if (!lc_trace.value.empty()) {
+        std::shared_ptr<const TraceApp> app =
+            TraceApp::load(lc_trace.value);
+        std::printf("replaying trace %s (%llu requests, %llu accesses, "
+                    "APKI %.1f, content hash %016llx)\n",
+                    lc_trace.value.c_str(),
+                    static_cast<unsigned long long>(app->requests()),
+                    static_cast<unsigned long long>(app->accesses()),
+                    app->apki(),
+                    static_cast<unsigned long long>(app->contentHash()));
+        spec.lc.traces.push_back(std::move(app));
+    }
     for (std::size_t i = 0; i < 3; i++)
         spec.batch.apps[i] = batch_presets::make(
             batchClassFromCode(batch.value[i]),
             static_cast<std::uint32_t>(i));
     spec.name = lc.value + "/" + batch.value;
+    if (!lc_trace.value.empty())
+        spec.name += "/trace";
 
     MixRunner runner(cfg, !inorder.value);
     std::unique_ptr<ResultCache> cache = ResultCache::open(cfg.cacheDir);
@@ -251,6 +270,8 @@ main(int argc, char **argv)
         std::vector<LcAppSpec> lcs(3);
         for (auto &s : lcs) {
             s.params = spec.lc.app.scaled(cfg.scale);
+            if (!spec.lc.traces.empty())
+                s.trace = spec.lc.traces.front()->data();
             s.meanInterarrival = base.meanInterarrival;
             s.roiRequests = cfg.roiRequests;
             s.warmupRequests = cfg.warmupRequests;
@@ -263,7 +284,8 @@ main(int argc, char **argv)
                 spec.batch.apps[static_cast<size_t>(i)].scaled(
                     cfg.scale);
         Cmp cmp(cc, lcs, bs,
-                static_cast<std::uint64_t>(seed.value) * 15485863 + 17);
+                MixRunner::mixCmpSeed(
+                    static_cast<std::uint64_t>(seed.value)));
         cmp.run();
         LatencyRecorder merged;
         for (std::uint32_t i = 0; i < 3; i++)
