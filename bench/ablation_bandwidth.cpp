@@ -1,145 +1,17 @@
 /**
  * @file
- * Bandwidth-contention ablation (the paper's §6 future work).
- *
- * The paper models fixed-latency memory because bandwidth has no
- * inertia and is orthogonal to the cache-capacity transients Ubik
- * manages (§2.1, §6); it argues Ubik "should be easy to combine with
- * bandwidth partitioning techniques". This bench tests that claim on
- * the colocations where bandwidth actually matters: memory-intensive
- * LC apps (moses, shore, specjbb) sharing a scarce memory system with
- * streaming-heavy batch mixes. Three memory models, all under Ubik
- * (5% slack):
- *
- *   fixed       — the paper's memory model (reference),
- *   contended   — one scarce channel, no bandwidth QoS,
- *   partitioned — the same channel with LC apps at strict priority
- *                 and batch apps token-bucket-regulated to half the
- *                 bandwidth.
- *
- * Expected shape: cache QoS alone does not protect tails once the
- * memory bus saturates; adding bandwidth partitioning pulls LC tails
- * back toward the fixed-latency reference at some batch cost.
+ * Bandwidth-contention ablation (the paper's §6 future work): Ubik
+ * (5% slack) under fixed, contended, and partitioned memory on the
+ * colocations where bandwidth actually matters — memory-intensive
+ * LC apps sharing a scarce channel with streaming-heavy batch
+ * mixes. Thin wrapper over the scenario registry
+ * (`ubik_run ablation-bandwidth`).
  */
 
-#include <algorithm>
-#include <cstdio>
-#include <vector>
-
-#include "sim/mix_runner.h"
-#include "stats/streaming_stats.h"
-#include "workload/mix.h"
-#include "common/log.h"
-
-using namespace ubik;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Ablation: bandwidth contention & partitioning");
-
-    // One scarce channel: the streaming batch side can saturate it,
-    // but the three LC instances' own demand still fits. (The paper's
-    // 3-channel Westmere is never the bottleneck at these scales,
-    // which is why it could ignore bandwidth.)
-    MemoryParams scarce;
-    scarce.channels = 1;
-    scarce.channelOccupancy = 24;
-
-    std::vector<SchemeUnderTest> schemes;
-    {
-        SchemeUnderTest s;
-        s.label = "Ubik/fixed";
-        s.policy = PolicyKind::Ubik;
-        s.slack = 0.05;
-        schemes.push_back(s);
-
-        s.label = "Ubik/contended";
-        s.mem = MemKind::Contended;
-        s.memParams = scarce;
-        schemes.push_back(s);
-
-        s.label = "Ubik/bw-part";
-        s.mem = MemKind::Partitioned;
-        s.lcMemShare = 0.5;
-        schemes.push_back(s);
-    }
-
-    // Bandwidth-critical colocations only: memory-intensive LC apps
-    // crossed with streaming-heavy batch mixes.
-    std::vector<LcConfig> lcs;
-    for (const char *name : {"moses", "shore", "specjbb"})
-        for (double load : {0.2, 0.6})
-            lcs.push_back({lc_presets::byName(name), load});
-
-    std::vector<BatchMix> batches;
-    {
-        BatchMix m;
-        m.name = "sss-0";
-        for (int i = 0; i < 3; i++)
-            m.apps[static_cast<size_t>(i)] = batch_presets::make(
-                BatchClass::Streaming, static_cast<std::uint32_t>(i));
-        batches.push_back(m);
-        m.name = "ssf-0";
-        m.apps[2] = batch_presets::make(BatchClass::Friendly, 0);
-        batches.push_back(m);
-    }
-
-    MixRunner runner(cfg, /*out_of_order=*/true);
-    std::printf("\n[bw] tail degradation / weighted speedup per "
-                "scheme (bandwidth-critical mixes)\n");
-    std::printf("%-16s", "mix");
-    for (const auto &s : schemes)
-        std::printf(" %22s", s.label.c_str());
-    std::printf("\n");
-
-    std::vector<StreamingStats> tails(schemes.size());
-    std::vector<StreamingStats> speedups(schemes.size());
-    for (const auto &lc : lcs) {
-        for (const auto &bm : batches) {
-            MixSpec spec;
-            spec.lc = lc;
-            spec.batch = bm;
-            char name[64];
-            std::snprintf(name, sizeof(name), "%s-%s/%s",
-                          lc.app.name.c_str(),
-                          lc.load < 0.4 ? "lo" : "hi",
-                          bm.name.c_str());
-            spec.name = name;
-            std::printf("%-16s", name);
-            for (std::size_t i = 0; i < schemes.size(); i++) {
-                StreamingStats t, w;
-                for (std::uint32_t s = 0; s < cfg.seeds; s++) {
-                    MixRunResult r =
-                        runner.runMix(spec, schemes[i], s + 1);
-                    t.add(r.tailDegradation);
-                    w.add(r.weightedSpeedup);
-                }
-                tails[i].add(t.mean());
-                speedups[i].add(w.mean());
-                std::printf("        %5.2fx | %4.2fx", t.mean(),
-                            w.mean());
-            }
-            std::printf("\n");
-        }
-    }
-
-    std::printf("\n[bw-avg] averages over bandwidth-critical mixes\n");
-    std::printf("%-16s %22s %22s\n", "scheme", "avg tail degradation",
-                "avg wspeedup");
-    for (std::size_t i = 0; i < schemes.size(); i++)
-        std::printf("%-16s %21.3fx %21.3fx\n",
-                    schemes[i].label.c_str(), tails[i].mean(),
-                    speedups[i].mean());
-
-    std::printf("\nExpected shape: contended memory degrades LC tails "
-                "beyond Ubik's 5%% slack (cache QoS cannot police the "
-                "memory bus); strict-priority + batch regulation pulls "
-                "tails back toward the fixed-latency reference, "
-                "trading some batch throughput. This validates the "
-                "paper's claim that Ubik composes with bandwidth QoS "
-                "(§6).\n");
-    return 0;
+    return ubik::runRegisteredScenario("ablation-bandwidth");
 }

@@ -1,102 +1,17 @@
 /**
  * @file
- * Accurate de-boosting ablation (§5.1.1, quantified).
- *
- * Ubik sizes s_boost from conservative upper bounds on the transient
- * cost, so most requests repay their lost cycles well before the
- * deadline. The accurate de-boosting circuit (a comparator on UMON
- * would-be misses vs actual misses) detects that early repayment and
- * returns the boost space to batch apps immediately. The paper argues
- * that without it — holding the boost until the deadline — latency-
- * critical performance is improved unnecessarily "while hurting batch
- * throughput".
- *
- * This bench runs Ubik with the circuit enabled (default) and ablated
- * (deadline-wait de-boosting) over the standard mixes, in strict and
- * 5%-slack modes, and reports tail degradation, batch weighted
- * speedup, and the interrupt mix (early-recovery vs deadline-expiry
- * de-boosts).
+ * Accurate de-boosting ablation (§5.1.1, quantified): Ubik with the
+ * de-boost circuit enabled (default) and ablated (deadline-wait) in
+ * strict and 5%-slack modes over the cache-hungry mixes, reporting
+ * tail degradation, batch weighted speedup, and the interrupt mix
+ * (early-recovery vs deadline-expiry de-boosts). Thin wrapper over
+ * the scenario registry (`ubik_run ablation-deboost`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
-
-namespace {
-
-void
-printInterruptMix(const std::vector<SweepResult> &sweeps)
-{
-    std::printf("\n[deboost-irq] de-boost interrupt mix per scheme "
-                "(totals over all runs)\n");
-    std::printf("%-22s %14s %14s %12s\n", "scheme", "early-recovery",
-                "deadline-wait", "watermark");
-    for (const auto &s : sweeps) {
-        std::uint64_t early = 0, deadline = 0, wm = 0;
-        for (const auto &r : s.runs) {
-            early += r.ubikDeboosts;
-            deadline += r.ubikDeadlineDeboosts;
-            wm += r.ubikWatermarks;
-        }
-        std::printf("%-22s %14llu %14llu %12llu\n", s.label.c_str(),
-                    static_cast<unsigned long long>(early),
-                    static_cast<unsigned long long>(deadline),
-                    static_cast<unsigned long long>(wm));
-    }
-}
-
-} // namespace
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Ablation: accurate de-boosting vs deadline-wait");
-
-    std::vector<SchemeUnderTest> schemes;
-    {
-        SchemeUnderTest s;
-        s.policy = PolicyKind::Ubik;
-
-        s.label = "Ubik-strict";
-        s.slack = 0.0;
-        s.ubik.accurateDeboost = true;
-        schemes.push_back(s);
-
-        s.label = "Ubik-strict-noDB";
-        s.ubik.accurateDeboost = false;
-        schemes.push_back(s);
-
-        s.label = "Ubik-5%";
-        s.slack = 0.05;
-        s.ubik.accurateDeboost = true;
-        schemes.push_back(s);
-
-        s.label = "Ubik-5%-noDB";
-        s.ubik.accurateDeboost = false;
-        schemes.push_back(s);
-    }
-
-    auto sweeps = runCustomSweep(cfg, schemes, cacheHungryMixes());
-    printPerApp(sweeps, "deboost");
-    printAverages(sweeps, "deboost-avg");
-    printInterruptMix(sweeps);
-
-    std::printf("\nExpected shape (§5.1.1): tail degradations match "
-                "across variants (the boost never ends *early*, so "
-                "the QoS guarantee is unaffected), while the circuit "
-                "converts deadline-wait de-boosts into much earlier "
-                "recoveries — the irq table should show early-"
-                "recovery dominating with the circuit and only "
-                "deadline expiries without it. Returning that space "
-                "sooner buys batch throughput; the margin scales "
-                "with how long boosts outlive their transients "
-                "(small at the scaled-down deadlines, growing at "
-                "UBIK_SCALE=1).\n");
-    return 0;
+    return ubik::runRegisteredScenario("ablation-deboost");
 }

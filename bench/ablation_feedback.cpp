@@ -1,62 +1,16 @@
 /**
  * @file
- * Feedback-control ablation (§2.1's argument, quantified).
- *
- * Prior QoS frameworks adapt to *observed* performance across
- * intervals (Cook et al., METE, PACORA). The paper argues they
- * cannot protect tails: the burst that violates the deadline has
- * already happened by the time the controller reacts, and long
- * low-performance periods dominate tail latency. This bench pits a
+ * Feedback-control ablation (§2.1's argument, quantified): a
  * representative proportional-feedback controller (FeedbackPolicy)
  * against StaticLC (predictively safe) and Ubik (predictively safe
- * *and* efficient) over the standard mixes.
+ * *and* efficient) over the standard mixes. Thin wrapper over the
+ * scenario registry (`ubik_run ablation-feedback`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Ablation: feedback control vs prediction");
-
-    std::vector<SchemeUnderTest> schemes;
-    {
-        SchemeUnderTest s;
-        s.label = "Feedback";
-        s.policy = PolicyKind::Feedback;
-        s.slack = 0.0;
-        schemes.push_back(s);
-
-        s.label = "StaticLC";
-        s.policy = PolicyKind::StaticLc;
-        schemes.push_back(s);
-
-        s.label = "Ubik";
-        s.policy = PolicyKind::Ubik;
-        s.slack = 0.05;
-        schemes.push_back(s);
-    }
-
-    std::uint32_t mixes = std::min<std::uint32_t>(cfg.mixesPerLc, 2);
-    auto sweeps = runSweep(cfg, schemes, mixes, /*ooo=*/true);
-    printPerApp(sweeps, "feedback");
-    printAverages(sweeps, "feedback-avg");
-
-    std::printf("\nExpected shape (§2.1): Feedback reclaims idle LC "
-                "space like Ubik does, so its batch speedups beat "
-                "StaticLC — but its tail degradations are looser and "
-                "its worst mixes violate the deadline, because the "
-                "controller reacts one interval after each burst. "
-                "Ubik matches or beats its speedup while holding "
-                "tails, because it prices transients *before* taking "
-                "space.\n");
-    return 0;
+    return ubik::runRegisteredScenario("ablation-feedback");
 }

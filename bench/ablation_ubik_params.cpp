@@ -1,111 +1,25 @@
 /**
  * @file
- * Ubik parameter-sensitivity ablation.
- *
- * The paper fixes three controller knobs without sweeping them: the
- * number of s_idle candidates evaluated per LC app (N = 16, §5.1.1),
- * the de-boost guard absorbing UMON sampling error (§5.1.1), and the
- * coarse reconfiguration interval (50 ms, §5.1.2). This bench sweeps
- * each knob independently around the paper's value over the
- * cache-hungry mixes (Ubik, 5% slack) so a downstream user can see how much
- * headroom each default has:
- *
- *  - N too small quantizes the idle-size search (less space freed);
- *    large N only costs runtime.
- *  - guard too small risks premature de-boosts on UMON noise
- *    (tail risk); too large parks boost space unnecessarily.
- *  - the interval trades adaptation lag against runtime overhead;
- *    transients are priced analytically so tails should hold at all
- *    settings, with throughput dropping when miss curves go stale.
+ * Ubik parameter-sensitivity ablation: sweeps the three controller
+ * knobs the paper fixes without sweeping — the s_idle search
+ * resolution N (§5.1.1), the de-boost guard (§5.1.1), and the coarse
+ * reconfiguration interval (§5.1.2) — each independently around the
+ * paper's value over the low-load cache-hungry mixes. Thin wrapper
+ * over three registry scenarios (`ubik_run ablation-params-idle`,
+ * `ubik_run ablation-params-guard`,
+ * `ubik_run ablation-params-interval`).
  */
 
-#include <cstdio>
-#include <vector>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
-
-namespace {
-
-void
-sweepAndPrint(const ExperimentConfig &cfg,
-              const std::vector<SchemeUnderTest> &schemes,
-              const char *tag)
-{
-    // Cache-hungry batch mixes only: the knobs govern downsizing and
-    // boosting, which the cost-benefit analysis disables against
-    // insensitive batch apps (see bench_util.h). Low-load mixes only:
-    // knob effects are load-insensitive and the grid is 9 schemes.
-    std::vector<MixSpec> mixes;
-    for (MixSpec &m : cacheHungryMixes())
-        if (m.lc.load < 0.4)
-            mixes.push_back(std::move(m));
-    auto sweeps = runCustomSweep(cfg, schemes, mixes);
-    printAverages(sweeps, tag);
-}
-
-} // namespace
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Ablation: Ubik controller parameters");
-
-    SchemeUnderTest base;
-    base.policy = PolicyKind::Ubik;
-    base.slack = 0.05;
-
-    // 1. Idle-size search resolution N (paper: 16).
-    {
-        std::vector<SchemeUnderTest> schemes;
-        for (std::uint32_t n : {2u, 16u, 64u}) {
-            SchemeUnderTest s = base;
-            s.label = "N=" + std::to_string(n);
-            s.ubik.idleOptions = n;
-            schemes.push_back(s);
-        }
-        sweepAndPrint(cfg, schemes, "params-idle-options");
-    }
-
-    // 2. De-boost guard (paper: "a guard to account for the small
-    //    UMON sampling error"; our default 16 would-be misses).
-    {
-        std::vector<SchemeUnderTest> schemes;
-        for (double g : {0.0, 16.0, 256.0}) {
-            SchemeUnderTest s = base;
-            char buf[32];
-            std::snprintf(buf, sizeof(buf), "guard=%g", g);
-            s.label = buf;
-            s.ubik.deboostGuard = g;
-            schemes.push_back(s);
-        }
-        sweepAndPrint(cfg, schemes, "params-deboost-guard");
-    }
-
-    // 3. Reconfiguration interval (paper: 50 ms).
-    {
-        std::vector<SchemeUnderTest> schemes;
-        for (double m : {0.25, 1.0, 4.0}) {
-            SchemeUnderTest s = base;
-            char buf[32];
-            std::snprintf(buf, sizeof(buf), "interval=%gx", m);
-            s.label = buf;
-            s.reconfigScale = m;
-            schemes.push_back(s);
-        }
-        sweepAndPrint(cfg, schemes, "params-reconfig-interval");
-    }
-
-    std::printf("\nExpected shape: tails hold near 1.0 across every "
-                "setting (the transient bounds are what guarantee "
-                "QoS, not the knobs); batch speedup degrades at the "
-                "extremes — coarse N and huge guards strand space on "
-                "idle LC apps, and very long intervals let miss "
-                "curves go stale.\n");
-    return 0;
+    int rc = ubik::runRegisteredScenario("ablation-params-idle");
+    if (rc)
+        return rc;
+    rc = ubik::runRegisteredScenario("ablation-params-guard");
+    if (rc)
+        return rc;
+    return ubik::runRegisteredScenario("ablation-params-interval");
 }

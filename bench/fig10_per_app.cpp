@@ -2,35 +2,14 @@
  * @file
  * Reproduces Fig 10: per-LC-app tail-latency degradation (overall
  * bar + worst-mix whisker) and average weighted speedup, per load,
- * with OOO cores.
+ * with OOO cores. Thin wrapper over the scenario registry
+ * (`ubik_run fig10`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Fig 10: per-app results, OOO cores");
-
-    auto schemes = paperSchemes(0.05);
-    std::uint32_t mixes = std::min<std::uint32_t>(cfg.mixesPerLc, 2);
-    auto sweeps = runSweep(cfg, schemes, mixes, /*ooo=*/true);
-    printPerApp(sweeps, "fig10");
-    printAverages(sweeps, "fig10-avg");
-
-    std::printf("\nExpected shape (paper Fig 10): xapian is "
-                "insensitive at low load but UCP hurts it at high "
-                "load; LRU/UCP/OnOff violate deadlines on masstree, "
-                "shore, specjbb (inertia-heavy); Ubik matches "
-                "StaticLC's tails while beating its speedups, and "
-                "wins outright on xapian and moses.\n");
-    return 0;
+    return ubik::runRegisteredScenario("fig10");
 }

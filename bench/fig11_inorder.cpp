@@ -3,35 +3,14 @@
  * Reproduces Fig 11: the Fig 10 per-app comparison with simple
  * in-order cores (IPC = 1 except on LLC accesses), which are more
  * sensitive to memory latency and amplify both degradations and
- * speedups.
+ * speedups. Thin wrapper over the scenario registry
+ * (`ubik_run fig11`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Fig 11: per-app results, in-order cores");
-
-    auto schemes = paperSchemes(0.05);
-    std::uint32_t mixes = std::min<std::uint32_t>(cfg.mixesPerLc, 1);
-    auto sweeps = runSweep(cfg, schemes, mixes, /*ooo=*/false);
-    printPerApp(sweeps, "fig11");
-    printAverages(sweeps, "fig11-avg");
-
-    std::printf("\nExpected shape (paper Fig 11): versus Fig 10, "
-                "best-effort schemes degrade tails *more* (in-order "
-                "cores cannot hide misses) while all schemes achieve "
-                "*higher* weighted speedups; StaticLC and Ubik still "
-                "hold tail latency, with Ubik's speedup well above "
-                "StaticLC's.\n");
-    return 0;
+    return ubik::runRegisteredScenario("fig11");
 }

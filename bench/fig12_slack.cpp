@@ -2,45 +2,13 @@
  * @file
  * Reproduces Fig 12: Ubik's slack sensitivity (0%, 1%, 5%, 10%),
  * trading bounded tail-latency degradation for batch throughput.
+ * Thin wrapper over the scenario registry (`ubik_run fig12`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Fig 12: Ubik slack sensitivity");
-
-    std::vector<SchemeUnderTest> schemes;
-    for (double slack : {0.0, 0.01, 0.05, 0.10}) {
-        SchemeUnderTest sut;
-        char label[32];
-        std::snprintf(label, sizeof(label), "slack=%g%%",
-                      slack * 100);
-        sut.label = label;
-        sut.policy = PolicyKind::Ubik;
-        sut.slack = slack;
-        schemes.push_back(sut);
-    }
-
-    std::uint32_t mixes = std::min<std::uint32_t>(cfg.mixesPerLc, 1);
-    auto sweeps = runSweep(cfg, schemes, mixes, /*ooo=*/true);
-    printPerApp(sweeps, "fig12");
-    printAverages(sweeps, "fig12-avg");
-
-    std::printf("\nExpected shape (paper Fig 12): slack=0 strictly "
-                "maintains tails at the lowest speedup (paper: "
-                "+9.9%%); growing slack monotonically buys batch "
-                "throughput (paper: 13.1%%, 16.0%%, 17.0%% at "
-                "1/5/10%%) while tail degradation stays within the "
-                "configured bound.\n");
-    return 0;
+    return ubik::runRegisteredScenario("fig12");
 }

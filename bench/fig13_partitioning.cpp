@@ -3,48 +3,14 @@
  * Reproduces Fig 13: Ubik (5% slack) under different partitioning
  * schemes and arrays — way-partitioning on SA16/SA64 and Vantage on
  * SA16/SA64/Z4-52 — showing why Ubik needs fine-grained partitioning
- * with analyzable transients.
+ * with analyzable transients. Thin wrapper over the scenario
+ * registry (`ubik_run fig13`).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Fig 13: partitioning-scheme sensitivity "
-                    "(Ubik, 5% slack)");
-
-    std::vector<SchemeUnderTest> schemes = {
-        {"WayPart-SA16", SchemeKind::WayPart, ArrayKind::SA16,
-         PolicyKind::Ubik, 0.05},
-        {"WayPart-SA64", SchemeKind::WayPart, ArrayKind::SA64,
-         PolicyKind::Ubik, 0.05},
-        {"Vantage-SA16", SchemeKind::Vantage, ArrayKind::SA16,
-         PolicyKind::Ubik, 0.05},
-        {"Vantage-SA64", SchemeKind::Vantage, ArrayKind::SA64,
-         PolicyKind::Ubik, 0.05},
-        {"Vantage-Z4/52", SchemeKind::Vantage, ArrayKind::Z4_52,
-         PolicyKind::Ubik, 0.05},
-    };
-
-    std::uint32_t mixes = std::min<std::uint32_t>(cfg.mixesPerLc, 1);
-    auto sweeps = runSweep(cfg, schemes, mixes, /*ooo=*/true);
-    printDistributions(sweeps, "fig13");
-    printAverages(sweeps, "fig13-avg");
-
-    std::printf("\nExpected shape (paper Fig 13): way-partitioning "
-                "misses deadlines (coarse sizes, slow unpredictable "
-                "transients), SA16 hurts even under Vantage (forced "
-                "evictions), Vantage on SA64 comes close to the "
-                "zcache, and Vantage on Z4/52 is best on both "
-                "axes.\n");
-    return 0;
+    return ubik::runRegisteredScenario("fig13");
 }

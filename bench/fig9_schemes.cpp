@@ -4,57 +4,18 @@
  * degradation (LC apps) and weighted speedup (batch apps) for LRU,
  * UCP, OnOff, StaticLC, and Ubik (5% slack) over the mix matrix,
  * split into low-load (20%) and high-load (60%) halves.
+ *
+ * Thin wrapper over the scenario registry — `ubik_run fig9` is the
+ * same experiment with overrides and spec-file support; this
+ * executable stays for script/CI compatibility. The registry path is
+ * golden-tested bit-identical to the legacy sweep loops
+ * (tests/integration/scenario_golden_test.cpp).
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
-#include "common/log.h"
-
-using namespace ubik;
-using namespace ubik::bench;
+#include "sim/scenario.h"
 
 int
 main()
 {
-    setVerbose(false);
-    ExperimentConfig cfg = ExperimentConfig::fromEnv();
-    cfg.printHeader("Fig 9 / Table 3: scheme comparison over the mix "
-                    "matrix");
-
-    auto schemes = paperSchemes(0.05);
-    auto sweeps =
-        runSweep(cfg, schemes, cfg.mixesPerLc, /*ooo=*/true);
-
-    // Split rows by load using the mix-name tag.
-    auto split = [&](const char *tag) {
-        std::vector<SweepResult> part;
-        for (const auto &s : sweeps) {
-            SweepResult p;
-            p.label = s.label;
-            for (std::size_t i = 0; i < s.runs.size(); i++) {
-                if (s.mixNames[i].find(tag) == std::string::npos)
-                    continue;
-                p.runs.push_back(s.runs[i]);
-                p.mixNames.push_back(s.mixNames[i]);
-            }
-            part.push_back(std::move(p));
-        }
-        return part;
-    };
-
-    auto low = split("-lo/");
-    auto high = split("-hi/");
-    printDistributions(low, "fig9a-low-load");
-    printAverages(low, "table3-low-load");
-    printDistributions(high, "fig9b-high-load");
-    printAverages(high, "table3-high-load");
-
-    std::printf("\nExpected shape (paper Fig 9 / Table 3): LRU, UCP, "
-                "and OnOff show heavy worst-case tail degradation "
-                "(paper: up to ~2.3x); StaticLC and Ubik hold "
-                "degradation ~1 (Ubik within its 5%% slack); batch "
-                "speedup ordering UCP ~ OnOff >= Ubik > LRU > "
-                "StaticLC > 1.\n");
-    return 0;
+    return ubik::runRegisteredScenario("fig9");
 }

@@ -17,12 +17,14 @@ struct Cli::Entry
     std::string defaultText;
 
     std::variant<Flag<std::string> *, Flag<std::int64_t> *,
-                 Flag<double> *, Flag<bool> *>
+                 Flag<double> *, Flag<bool> *,
+                 Flag<std::vector<std::string>> *>
         target;
 
     /** Typed flags are owned here (one variant member is active). */
     std::variant<std::monostate, Flag<std::string>, Flag<std::int64_t>,
-                 Flag<double>, Flag<bool>>
+                 Flag<double>, Flag<bool>,
+                 Flag<std::vector<std::string>>>
         storage;
 
     /** Whether this flag consumes a value ("--x v"); bools do not. */
@@ -65,6 +67,12 @@ struct Cli::Entry
                 fatal("--%s: '%s' is not a boolean", name.c_str(),
                       text.c_str());
             }
+            (*f)->seen = true;
+            return;
+        }
+        if (auto **f = std::get_if<Flag<std::vector<std::string>> *>(
+                &target)) {
+            (*f)->value.push_back(text);
             (*f)->seen = true;
             return;
         }
@@ -144,6 +152,26 @@ Cli::flag(const std::string &name, bool default_value,
     return f;
 }
 
+Flag<std::vector<std::string>> &
+Cli::multiFlag(const std::string &name, const std::string &help)
+{
+    Entry &e = add(name, help);
+    e.storage =
+        Flag<std::vector<std::string>>{name, help, {}, false};
+    auto &f = std::get<Flag<std::vector<std::string>>>(e.storage);
+    e.target = &f;
+    e.defaultText = "none; repeatable";
+    return f;
+}
+
+void
+Cli::allowPositionals(const std::string &name, const std::string &help)
+{
+    allowPositionals_ = true;
+    positionalName_ = name;
+    positionalHelp_ = help;
+}
+
 Cli::Entry *
 Cli::find(const std::string &name)
 {
@@ -156,8 +184,12 @@ Cli::find(const std::string &name)
 void
 Cli::printHelp() const
 {
-    std::printf("%s — %s\n\nFlags:\n", program_.c_str(),
+    std::printf("%s — %s\n", program_.c_str(),
                 description_.c_str());
+    if (allowPositionals_)
+        std::printf("\nArguments:\n  %-16s %s\n",
+                    positionalName_.c_str(), positionalHelp_.c_str());
+    std::printf("\nFlags:\n");
     for (const auto &e : entries_)
         std::printf("  --%-14s %s (default: %s)\n", e->name.c_str(),
                     e->help.c_str(), e->defaultText.c_str());
@@ -169,9 +201,14 @@ Cli::parse(int argc, const char *const *argv)
 {
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
-        if (arg.rfind("--", 0) != 0)
-            fatal("unexpected argument '%s' (flags start with --)",
-                  arg.c_str());
+        if (arg.rfind("--", 0) != 0) {
+            if (!allowPositionals_)
+                fatal("unexpected argument '%s' (flags start with "
+                      "--)",
+                      arg.c_str());
+            positionals_.push_back(std::move(arg));
+            continue;
+        }
         arg = arg.substr(2);
 
         std::string value;

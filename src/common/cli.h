@@ -52,6 +52,25 @@ class Cli
     Flag<bool> &flag(const std::string &name, bool default_value,
                      const std::string &help);
 
+    /** Declare a repeatable flag: every `--name value` occurrence
+     *  appends to the vector (e.g. `--set a=1 --set b=2`). */
+    Flag<std::vector<std::string>> &
+    multiFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Accept bare (non `--`) arguments, collected in order into
+     * positionals(). Without this call they stay fatal() errors.
+     * `name`/`help` label them in the usage text.
+     */
+    void allowPositionals(const std::string &name,
+                          const std::string &help);
+
+    /** The bare arguments parse() collected. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
     /**
      * Parse the command line. Exits 0 on --help; fatal() on unknown
      * flags, missing values, or unparseable values.
@@ -70,6 +89,11 @@ class Cli
     std::string program_;
     std::string description_;
     std::vector<std::unique_ptr<Entry>> entries_;
+
+    bool allowPositionals_ = false;
+    std::string positionalName_;
+    std::string positionalHelp_;
+    std::vector<std::string> positionals_;
 };
 
 } // namespace ubik

@@ -1,0 +1,126 @@
+#include "sim/kind_names.h"
+
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+/** Walk an enum's values by round-tripping through its name
+ *  function — one source of truth, no parallel tables to drift. */
+template <typename Kind, typename NameFn>
+bool
+matchByName(const std::string &name, Kind last, NameFn kind_name,
+            Kind &out)
+{
+    for (int v = 0; v <= static_cast<int>(last); v++) {
+        Kind k = static_cast<Kind>(v);
+        if (name == kind_name(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+tryPolicyKindFromName(const std::string &name, PolicyKind &out)
+{
+    return matchByName(name, PolicyKind::Feedback, policyKindName,
+                       out);
+}
+
+PolicyKind
+policyKindFromName(const std::string &name)
+{
+    PolicyKind k;
+    if (!tryPolicyKindFromName(name, k))
+        fatal("unknown policy '%s' (LRU, UCP, StaticLC, OnOff, Ubik, "
+              "Feedback)",
+              name.c_str());
+    return k;
+}
+
+bool
+tryArrayKindFromName(const std::string &name, ArrayKind &out)
+{
+    if (name == "zcache") { // CLI alias for the paper's default
+        out = ArrayKind::Z4_52;
+        return true;
+    }
+    return matchByName(name, ArrayKind::SA64, arrayKindName, out);
+}
+
+ArrayKind
+arrayKindFromName(const std::string &name)
+{
+    ArrayKind k;
+    if (!tryArrayKindFromName(name, k))
+        fatal("unknown array '%s' (Z4/52 or zcache, SA16, SA64)",
+              name.c_str());
+    return k;
+}
+
+bool
+trySchemeKindFromName(const std::string &name, SchemeKind &out)
+{
+    return matchByName(name, SchemeKind::WayPart, schemeKindName, out);
+}
+
+SchemeKind
+schemeKindFromName(const std::string &name)
+{
+    SchemeKind k;
+    if (!trySchemeKindFromName(name, k))
+        fatal("unknown scheme '%s' (LRU, Vantage, WayPart)",
+              name.c_str());
+    return k;
+}
+
+SchemeKind
+schemeKindFromNameOrAuto(const std::string &name, PolicyKind policy)
+{
+    if (name == "auto")
+        return policy == PolicyKind::Lru ? SchemeKind::SharedLru
+                                         : SchemeKind::Vantage;
+    SchemeKind k;
+    if (!trySchemeKindFromName(name, k))
+        fatal("unknown scheme '%s' (auto, LRU, Vantage, WayPart)",
+              name.c_str());
+    return k;
+}
+
+bool
+tryMemKindFromName(const std::string &name, MemKind &out)
+{
+    return matchByName(name, MemKind::Partitioned, memKindName, out);
+}
+
+MemKind
+memKindFromName(const std::string &name)
+{
+    MemKind k;
+    if (!tryMemKindFromName(name, k))
+        fatal("unknown memory model '%s' (fixed, contended, "
+              "partitioned)",
+              name.c_str());
+    return k;
+}
+
+bool
+tryBatchClassFromCode(char code, BatchClass &out)
+{
+    for (BatchClass c :
+         {BatchClass::Insensitive, BatchClass::Friendly,
+          BatchClass::Fitting, BatchClass::Streaming}) {
+        if (batchClassCode(c) == code) {
+            out = c;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace ubik

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The single string<->enum map for every user-facing kind: policies,
+ * partition-enforcement schemes, array organizations, memory models,
+ * and batch classes.
+ *
+ * The forward direction (enum -> canonical name) lives with each
+ * enum (sim/cmp.h, mem/memory_system.h, workload/batch_app.h); this
+ * header owns the reverse direction, which used to be duplicated ad
+ * hoc in tools/ubik_cli.cpp. The scenario JSON layer (sim/scenario.h),
+ * the CLI tools, and the result-cache key encoding all parse and
+ * print kinds through these functions, so a name accepted anywhere
+ * is accepted everywhere and cache keys stay grep-able.
+ *
+ * Each kind has a try-variant (returns false on unknown names, for
+ * callers that produce their own errors) and a fatal()-ing variant
+ * that lists the accepted spellings.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "sim/cmp.h"
+#include "workload/batch_app.h"
+
+namespace ubik {
+
+/** "LRU", "UCP", "StaticLC", "OnOff", "Ubik", "Feedback". */
+bool tryPolicyKindFromName(const std::string &name, PolicyKind &out);
+PolicyKind policyKindFromName(const std::string &name);
+
+/** "Z4/52" (alias "zcache"), "SA16", "SA64". */
+bool tryArrayKindFromName(const std::string &name, ArrayKind &out);
+ArrayKind arrayKindFromName(const std::string &name);
+
+/** "LRU", "Vantage", "WayPart". */
+bool trySchemeKindFromName(const std::string &name, SchemeKind &out);
+SchemeKind schemeKindFromName(const std::string &name);
+
+/**
+ * schemeKindFromName() plus the CLI's "auto" spelling: LRU policy
+ * runs unpartitioned, everything else runs under Vantage.
+ */
+SchemeKind schemeKindFromNameOrAuto(const std::string &name,
+                                    PolicyKind policy);
+
+/** "fixed", "contended", "partitioned". */
+bool tryMemKindFromName(const std::string &name, MemKind &out);
+MemKind memKindFromName(const std::string &name);
+
+/** Single-letter class codes: tryBatchClassFromCode never dies, the
+ *  code/fromCode pair in workload/batch_app.h stays the fatal path. */
+bool tryBatchClassFromCode(char code, BatchClass &out);
+
+} // namespace ubik

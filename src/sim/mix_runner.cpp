@@ -207,6 +207,11 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
     if (ntraces != 0 && ntraces != 1 && ntraces != 3)
         fatal("mix %s: lc.traces must hold 0, 1, or 3 traces (has %zu)",
               spec.name.c_str(), ntraces);
+    const std::size_t nbatch = spec.batch.traces.size();
+    if (nbatch != 0 && nbatch != 1 && nbatch != 3)
+        fatal("mix %s: batch.traces must hold 0, 1, or 3 traces "
+              "(has %zu)",
+              spec.name.c_str(), nbatch);
 
     const LcBaseline &base = lcBaseline(spec.lc.app, spec.lc.load, seed);
     LcAppParams scaled = spec.lc.app.scaled(cfg_.scale);
@@ -227,8 +232,12 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
         s.deadline = base.p95;
     }
     std::vector<BatchAppSpec> batch(3);
-    for (int i = 0; i < 3; i++)
+    for (std::size_t i = 0; i < 3; i++) {
         batch[i].params = spec.batch.apps[i].scaled(cfg_.scale);
+        if (nbatch)
+            batch[i].trace =
+                spec.batch.traces[nbatch == 1 ? 0 : i]->data();
+    }
 
     Cmp cmp(cc, lc, batch, mixCmpSeed(seed));
     cmp.run();

@@ -145,9 +145,10 @@ class MixRunner
 
     /**
      * Run one mix under one scheme. Trace-backed LC configs
-     * (MixSpec::lc.traces) replay inside the shared-LLC simulation;
-     * baselines always come from the synthetic params, so a traced
-     * mix and its source preset share them (workload/mix.h).
+     * (MixSpec::lc.traces) and batch mixes (MixSpec::batch.traces)
+     * replay inside the shared-LLC simulation; baselines always come
+     * from the synthetic params, so a traced mix and its source
+     * preset share them (workload/mix.h).
      */
     MixRunResult runMix(const MixSpec &spec, const SchemeUnderTest &sut,
                         std::uint64_t seed);

@@ -221,7 +221,8 @@ addBatchApp(KeyBuilder &kb, const BatchAppParams &p, int i)
 {
     std::string pre = "b" + std::to_string(i) + ".";
     kb.add((pre + "name").c_str(), p.name)
-        .add((pre + "cls").c_str(), static_cast<int>(p.cls))
+        .add((pre + "cls").c_str(),
+             std::string(1, batchClassCode(p.cls)))
         .add((pre + "apki").c_str(), p.apki)
         .add((pre + "wsLines").c_str(), p.wsLines)
         .add((pre + "theta").c_str(), p.theta)
@@ -233,9 +234,9 @@ void
 addScheme(KeyBuilder &kb, const SchemeUnderTest &sut)
 {
     kb.add("sut.label", sut.label)
-        .add("sut.scheme", static_cast<int>(sut.scheme))
-        .add("sut.array", static_cast<int>(sut.array))
-        .add("sut.policy", static_cast<int>(sut.policy))
+        .add("sut.scheme", std::string(schemeKindName(sut.scheme)))
+        .add("sut.array", std::string(arrayKindName(sut.array)))
+        .add("sut.policy", std::string(policyKindName(sut.policy)))
         .add("sut.slack", sut.slack)
         .add("ubik.slack", sut.ubik.slack)
         .add("ubik.idleOptions", sut.ubik.idleOptions)
@@ -244,7 +245,7 @@ addScheme(KeyBuilder &kb, const SchemeUnderTest &sut)
         .add("ubik.dutyAlpha", sut.ubik.dutyAlpha)
         .add("ubik.accurateDeboost", sut.ubik.accurateDeboost)
         .add("sut.reconfigScale", sut.reconfigScale)
-        .add("sut.mem", static_cast<int>(sut.mem))
+        .add("sut.mem", std::string(memKindName(sut.mem)))
         .add("mem.baseLatency", sut.memParams.baseLatency)
         .add("mem.channels", sut.memParams.channels)
         .add("mem.channelOccupancy", sut.memParams.channelOccupancy)
@@ -373,6 +374,13 @@ mixResultKey(const ExperimentConfig &cfg, const MixSpec &mix,
     kb.add("batch.name", mix.batch.name);
     for (int i = 0; i < 3; i++)
         addBatchApp(kb, mix.batch.apps[static_cast<std::size_t>(i)], i);
+    // Batch replay mirrors lc.traces: content-hash keyed, so a
+    // re-encoded trace still hits and an edited one never does.
+    kb.add("batch.ntraces",
+           static_cast<std::uint64_t>(mix.batch.traces.size()));
+    for (std::size_t i = 0; i < mix.batch.traces.size(); i++)
+        kb.add(("batch.trace" + std::to_string(i)).c_str(),
+               mix.batch.traces[i]->contentHash());
     addScheme(kb, sut);
     kb.add("seed", seed);
     return kb.str();

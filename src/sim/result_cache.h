@@ -47,12 +47,16 @@
 namespace ubik {
 
 /** Bump to invalidate every cached result after a simulator change
- *  that alters results without changing any configuration field.
+ *  that alters results without changing any configuration field —
+ *  or after a key-format change, so unreachable old-format records
+ *  are evicted instead of lingering as dead weight.
  *  History: v1 = PR 2 (initial store); v2 = PR 4 (trace-backed mixes:
  *  keys gain the trace content hashes, and trace replay changed
  *  request-cursor/address-salt semantics, which shifts any result
- *  that involved a bound trace). */
-constexpr std::uint32_t kResultCacheSchemaVersion = 2;
+ *  that involved a bound trace); v3 = PR 5 (trace-backed *batch*
+ *  apps enter the key, and enum fields are keyed by their canonical
+ *  names — sim/kind_names.h — instead of raw integers). */
+constexpr std::uint32_t kResultCacheSchemaVersion = 3;
 
 /** Counters since this ResultCache was opened. */
 struct CacheStats

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Declarative scenario API: one experiment — a figure, a table, an
+ * ablation, or anything a user dreams up — described as pure data.
+ *
+ * A ScenarioSpec names the scheme table (SchemeUnderTest values),
+ * how to select mixes (the standard matrix, the cache-hungry subset,
+ * or explicit preset/trace-backed mixes), the core model, a seed
+ * count, and the list of report blocks to render. runScenario()
+ * executes any spec through the existing methodology stack —
+ * MixRunner for calibration/baselines, ParallelSweep for the
+ * engine, ResultCache for persistence — so a spec run is
+ * bit-identical to the hand-written bench loops it replaces
+ * (tests/integration/scenario_golden_test.cpp pins this for fig9).
+ *
+ * Specs round-trip losslessly through JSON (common/json.h):
+ * `scenarioFromJson(scenarioToJson(s))` is canonical-equal to `s`,
+ * which is what lets `ubik_run --spec file.json` and `--dump` treat
+ * experiments as data. Every paper figure/ablation that sweeps mixes
+ * is registered as a named built-in spec (ScenarioRegistry), and the
+ * legacy bench executables are thin wrappers over the registry.
+ *
+ * Experiment *scale* stays environmental (UBIK_SCALE, UBIK_REQUESTS,
+ * ... — sim/experiment.h): a spec describes *what* to run, the
+ * environment describes *how big*, so the same spec serves CI smoke
+ * runs and paper-scale sweeps. The spec's `seeds` field and
+ * `--set seeds=N` overrides take precedence over UBIK_SEEDS.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "report/report.h"
+#include "sim/mix_runner.h"
+#include "workload/mix.h"
+
+namespace ubik {
+
+/** Where a scenario's mixes come from. */
+enum class MixSource
+{
+    Standard,    ///< the paper's LC-config x batch-mix matrix
+    CacheHungry, ///< workload/mix.h cacheHungryMixes()
+    Explicit,    ///< ScenarioSpec::mixes
+};
+
+const char *mixSourceName(MixSource s);
+bool tryMixSourceFromName(const std::string &name, MixSource &out);
+
+/** One text/file report block rendered after the sweep. */
+enum class ReportKind
+{
+    Distributions,  ///< Fig 9/13-style quantile rows
+    Averages,       ///< Table 3-style averages (+ UBIK_CSV_DIR)
+    PerApp,         ///< Fig 10/11-style per-LC-app breakdown
+    UbikInterrupts, ///< de-boost interrupt mix (deboost ablation)
+    Csv,            ///< <tag>_runs.csv into UBIK_CSV_DIR (or .)
+    Json,           ///< <tag>_results.json into UBIK_JSON_DIR (or .)
+};
+
+const char *reportKindName(ReportKind k);
+bool tryReportKindFromName(const std::string &name, ReportKind &out);
+
+struct ReportBlock
+{
+    ReportKind kind = ReportKind::Averages;
+    std::string tag;                  ///< grep prefix / file stem
+    LoadBand band = LoadBand::All;    ///< row filter (mix metadata)
+};
+
+/** One batch-app slot of an explicit mix, by preset. */
+struct BatchSel
+{
+    BatchClass cls = BatchClass::Friendly;
+    std::uint32_t variation = 0;
+};
+
+/**
+ * One explicit mix, described by presets so it serializes small and
+ * human-writable; trace paths make it trace-backed (loaded when the
+ * scenario is expanded, content-hashed into cache keys).
+ */
+struct ScenarioMix
+{
+    std::string name;      ///< empty = "<lc>-<lo|hi>/<batchName>"
+    std::string lcPreset = "masstree";
+    double load = 0.2;
+    std::array<BatchSel, 3> batch;
+    std::string batchName; ///< empty = the three class codes
+
+    /** 0, 1, or 3 .ubtr paths each (workload/mix.h semantics). */
+    std::vector<std::string> lcTraces;
+    std::vector<std::string> batchTraces;
+};
+
+/** Pure-data description of one experiment. */
+struct ScenarioSpec
+{
+    std::string name;  ///< registry key / CLI name, e.g. "fig9"
+    std::string title; ///< bench header line
+    std::string notes; ///< "expected shape" epilogue (optional)
+
+    std::vector<SchemeUnderTest> schemes;
+
+    MixSource source = MixSource::Standard;
+
+    /** Cap on batch mixes per LC config for the Standard source
+     *  (0 = UBIK_MIXES; nonzero caps it, like the legacy benches'
+     *  min(cfg.mixesPerLc, N)). */
+    std::uint32_t mixesPerLcCap = 0;
+
+    /** Mix-selection load filter (reports can filter further). */
+    LoadBand band = LoadBand::All;
+
+    /** MixSource::Explicit only. */
+    std::vector<ScenarioMix> mixes;
+
+    bool ooo = true;          ///< out-of-order vs in-order cores
+    std::uint32_t seeds = 0;  ///< 0 = UBIK_SEEDS
+
+    std::vector<ReportBlock> reports;
+};
+
+// ---------------------------------------------------------------------------
+// JSON round-trip
+// ---------------------------------------------------------------------------
+
+/** Serialize a spec (every field, canonical kind names). */
+Json scenarioToJson(const ScenarioSpec &spec);
+
+/**
+ * Parse a spec. Missing fields take their defaults; unknown keys and
+ * ill-typed values are fatal() with the offending key named, so spec
+ * file typos fail loudly instead of silently running the default.
+ */
+ScenarioSpec scenarioFromJson(const Json &j);
+
+/** Pretty-printed scenarioToJson() — the canonical form `--dump`
+ *  emits and the round-trip tests compare. */
+std::string scenarioCanonicalJson(const ScenarioSpec &spec);
+
+// ---------------------------------------------------------------------------
+// Overrides (`ubik_run --set key=value`)
+// ---------------------------------------------------------------------------
+
+/**
+ * Apply one "key=value" override. Keys: seeds, mixes (per-LC cap),
+ * load (all/low/high), ooo (bool), source, schemes (comma-separated
+ * label filter, kept in spec order). fatal() on unknown keys or bad
+ * values. Later overrides win (sequential application), and all of
+ * them win over the spec file / registry values.
+ */
+void applyScenarioOverride(ScenarioSpec &spec,
+                           const std::string &assignment);
+
+void applyScenarioOverrides(ScenarioSpec &spec,
+                            const std::vector<std::string> &sets);
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+/** `cfg` with the spec's overriding fields (seeds) applied. */
+ExperimentConfig scenarioConfig(const ScenarioSpec &spec,
+                                ExperimentConfig cfg);
+
+/** Expand the spec's mix selection against `cfg` (loads traces for
+ *  trace-backed explicit mixes). */
+std::vector<MixSpec> buildScenarioMixes(const ScenarioSpec &spec,
+                                        const ExperimentConfig &cfg);
+
+/**
+ * Run `schemes` x `mixes` x seeds through the parallel experiment
+ * engine with the persistent result cache attached (cfg.cacheDir).
+ * Results are grouped per scheme with full mix metadata, and are
+ * bit-identical across worker counts and cache states. This is the
+ * one sweep path: scenarios, benches, and tools all run through it.
+ */
+std::vector<SweepResult>
+runSchemeSweep(const ExperimentConfig &cfg,
+               const std::vector<SchemeUnderTest> &schemes,
+               const std::vector<MixSpec> &mixes, bool ooo = true);
+
+struct ScenarioResult
+{
+    std::vector<SweepResult> sweeps; ///< one per spec scheme
+};
+
+/** Execute a spec end to end (validation, mixes, sweep). */
+ScenarioResult runScenario(const ScenarioSpec &spec,
+                           const ExperimentConfig &cfg);
+
+/** Render the spec's report blocks for a finished run. */
+void renderReports(const ScenarioSpec &spec,
+                   const ScenarioResult &res);
+
+/**
+ * The whole experiment, stdout to epilogue: apply the spec's config
+ * overrides, print the header, run, render the report blocks, write
+ * the structured JSON results to `results_path` (empty = skip), and
+ * print the notes. The one execution path `ubik_run` and the bench
+ * wrappers share. Returns the process exit code.
+ */
+int executeScenario(const ScenarioSpec &spec, ExperimentConfig cfg,
+                    const std::string &results_path = "");
+
+/** executeScenario() on a registry spec by name — the legacy
+ *  figure/ablation executables are one-line wrappers over this. */
+int runRegisteredScenario(const std::string &name);
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/** The named built-in specs: every mix-sweeping paper figure and
+ *  ablation. */
+class ScenarioRegistry
+{
+  public:
+    static const ScenarioRegistry &instance();
+
+    /** Spec by name, or nullptr. */
+    const ScenarioSpec *find(const std::string &name) const;
+
+    /** All specs, in presentation order (figures then ablations). */
+    const std::vector<ScenarioSpec> &all() const;
+
+  private:
+    explicit ScenarioRegistry(std::vector<ScenarioSpec> specs)
+        : specs_(std::move(specs))
+    {
+    }
+
+    std::vector<ScenarioSpec> specs_;
+};
+
+} // namespace ubik

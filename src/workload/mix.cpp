@@ -77,14 +77,44 @@ buildMixes(std::uint32_t per_combo, std::uint64_t seed,
     for (const auto &lc : buildLcConfigs()) {
         for (const auto &bm : batch) {
             MixSpec m;
-            m.name = lc.app.name + (lc.load < 0.4 ? "-lo/" : "-hi/") +
-                     bm.name;
+            m.name = lc.app.name +
+                     (isLowLoad(lc.load) ? "-lo/" : "-hi/") + bm.name;
             m.lc = lc;
             m.batch = bm;
             mixes.push_back(std::move(m));
         }
     }
     return mixes;
+}
+
+std::vector<MixSpec>
+cacheHungryMixes()
+{
+    const std::vector<std::array<BatchClass, 3>> combos = {
+        {BatchClass::Friendly, BatchClass::Friendly,
+         BatchClass::Streaming},
+        {BatchClass::Friendly, BatchClass::Fitting,
+         BatchClass::Fitting},
+    };
+    std::vector<MixSpec> out;
+    for (const LcConfig &lc : buildLcConfigs()) {
+        std::uint32_t v = 0;
+        for (const auto &combo : combos) {
+            MixSpec m;
+            m.lc = lc;
+            m.batch.name = std::string() + batchClassCode(combo[0]) +
+                           batchClassCode(combo[1]) +
+                           batchClassCode(combo[2]);
+            for (std::size_t i = 0; i < 3; i++)
+                m.batch.apps[i] = batch_presets::make(combo[i], v + 1);
+            m.name = lc.app.name +
+                     (isLowLoad(lc.load) ? "-lo" : "-hi") + "/" +
+                     m.batch.name;
+            v++;
+            out.push_back(std::move(m));
+        }
+    }
+    return out;
 }
 
 } // namespace ubik

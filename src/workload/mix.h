@@ -29,6 +29,18 @@ struct BatchMix
 {
     std::string name; ///< e.g. "nft-0"
     std::array<BatchAppParams, 3> apps;
+
+    /**
+     * Trace-backed replay, mirroring LcConfig::traces. Empty: the
+     * three apps run the synthetic generators from `apps`. One
+     * entry: all three apps loop that trace (disjoint via
+     * per-instance address salting). Three entries: per-app traces.
+     * `apps` still supplies the timing model (apki, mlp, baseIpc)
+     * and drives the alone-IPC baselines, so traced mixes share
+     * baselines — and cached results — with their synthetic preset;
+     * the traces' content hashes enter the ResultCache mix key.
+     */
+    std::vector<std::shared_ptr<const TraceApp>> traces;
 };
 
 /** One LC configuration: an app preset at a load point. */
@@ -61,6 +73,18 @@ struct MixSpec
     BatchMix batch;
 };
 
+/** Offered-load boundary between the "-lo" and "-hi" mix families
+ *  (the paper evaluates 20% and 60% load). Structured metadata —
+ *  reports and scenario filters key on this, never on mix-name
+ *  substrings. */
+constexpr double kLowLoadThreshold = 0.4;
+
+inline bool
+isLowLoad(double load)
+{
+    return load < kLowLoadThreshold;
+}
+
 /** The 20 order-insensitive class triples, in lexicographic order. */
 std::vector<std::array<BatchClass, 3>> batchClassCombos();
 
@@ -82,5 +106,14 @@ std::vector<LcConfig> buildLcConfigs();
 std::vector<MixSpec> buildMixes(std::uint32_t per_combo = 2,
                                 std::uint64_t seed = 1,
                                 std::uint32_t max_batch_mixes = 0);
+
+/**
+ * Mixes whose batch apps have real marginal utility for freed cache
+ * space (friendly/fitting/streaming classes). Ubik only downsizes —
+ * and so only boosts and de-boosts — when the cost-benefit analysis
+ * sees batch demand, so knob ablations sweep these instead of the
+ * full matrix (where insensitive combos dilute the signal to zero).
+ */
+std::vector<MixSpec> cacheHungryMixes();
 
 } // namespace ubik

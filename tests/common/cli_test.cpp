@@ -144,6 +144,39 @@ TEST(Cli, PositionalArgumentsRejected)
                 "unexpected argument");
 }
 
+TEST(Cli, PositionalArgumentsCollectedWhenAllowed)
+{
+    Cli cli("t", "test");
+    cli.allowPositionals("scenario", "name to run");
+    auto &s = cli.flag("name", "x", "h");
+    const char *argv[] = {"t", "fig9", "--name", "v", "second"};
+    cli.parse(5, argv);
+    ASSERT_EQ(cli.positionals().size(), 2u);
+    EXPECT_EQ(cli.positionals()[0], "fig9");
+    EXPECT_EQ(cli.positionals()[1], "second");
+    EXPECT_EQ(s.value, "v");
+}
+
+TEST(Cli, MultiFlagAppendsEveryOccurrenceInOrder)
+{
+    Cli cli("t", "test");
+    auto &sets = cli.multiFlag("set", "key=value override");
+    {
+        const char *argv[] = {"t"};
+        cli.parse(1, argv);
+        EXPECT_TRUE(sets.value.empty());
+        EXPECT_FALSE(sets.seen);
+    }
+    const char *argv[] = {"t", "--set", "a=1", "--set=b=2", "--set",
+                          "a=3"};
+    cli.parse(6, argv);
+    ASSERT_EQ(sets.value.size(), 3u);
+    EXPECT_EQ(sets.value[0], "a=1");
+    EXPECT_EQ(sets.value[1], "b=2");
+    EXPECT_EQ(sets.value[2], "a=3");
+    EXPECT_TRUE(sets.seen);
+}
+
 TEST(Cli, DuplicateDeclarationIsFatal)
 {
     Cli cli("t", "test");

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Tests for the minimal JSON reader/writer: value model, lossless
+ * round-trips (including bit-exact doubles), strict-grammar rejects
+ * over a fuzz-ish corpus of malformed inputs (truncations, bad
+ * escapes, depth overflow), and writer determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "common/json.h"
+
+namespace ubik {
+namespace {
+
+Json
+parseOk(const std::string &text)
+{
+    Json out;
+    std::string err;
+    EXPECT_TRUE(Json::parse(text, out, err))
+        << "input: " << text << " error: " << err;
+    return out;
+}
+
+std::string
+parseErr(const std::string &text)
+{
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parse(text, out, err)) << "input: " << text;
+    EXPECT_FALSE(err.empty());
+    return err;
+}
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parseOk("null").isNull());
+    EXPECT_TRUE(parseOk("true").boolean());
+    EXPECT_FALSE(parseOk("false").boolean());
+    EXPECT_DOUBLE_EQ(parseOk("42").number(), 42.0);
+    EXPECT_DOUBLE_EQ(parseOk("-0.5e2").number(), -50.0);
+    EXPECT_EQ(parseOk("\"hi\\n\\\"there\\\"\"").str(),
+              "hi\n\"there\"");
+    EXPECT_EQ(parseOk("  \"pad\"  ").str(), "pad");
+}
+
+TEST(Json, ParsesContainersAndPreservesOrder)
+{
+    Json v = parseOk("{\"b\": [1, 2, {\"x\": null}], \"a\": true}");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v.members()[0].first, "b");
+    EXPECT_EQ(v.members()[1].first, "a");
+    const Json *b = v.find("b");
+    ASSERT_NE(b, nullptr);
+    ASSERT_EQ(b->size(), 3u);
+    EXPECT_DOUBLE_EQ(b->at(1).number(), 2.0);
+    EXPECT_TRUE(b->at(2).find("x")->isNull());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(parseOk("\"\\u0041\"").str(), "A");
+    EXPECT_EQ(parseOk("\"\\u00e9\"").str(), "\xc3\xa9");     // é
+    EXPECT_EQ(parseOk("\"\\u20ac\"").str(), "\xe2\x82\xac"); // €
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parseOk("\"\\ud83d\\ude00\"").str(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(Json, DumpParseRoundTripsStructurally)
+{
+    Json obj = Json::object();
+    obj.set("s", "line1\nline2\ttab \"quoted\" back\\slash");
+    obj.set("i", 123456789);
+    obj.set("d", 0.1);
+    obj.set("neg", -1.5e-300);
+    obj.set("b", true);
+    obj.set("n", Json());
+    Json arr = Json::array();
+    arr.push(1).push("two").push(Json::object());
+    obj.set("arr", std::move(arr));
+
+    for (bool pretty : {false, true}) {
+        Json back = parseOk(obj.dump(pretty));
+        EXPECT_EQ(back, obj);
+        // Canonical: dumping the reparse reproduces the bytes.
+        EXPECT_EQ(back.dump(pretty), obj.dump(pretty));
+    }
+}
+
+TEST(Json, DoublesRoundTripBitExactly)
+{
+    const double cases[] = {
+        0.0,
+        1.0 / 3.0,
+        0.1,
+        1e-310, // subnormal
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::min(),
+        std::numeric_limits<double>::epsilon(),
+        9007199254740991.0, // 2^53 - 1: still integer-formatted
+        9007199254740994.0, // > 2^53: scientific
+        -123456.789012345678,
+    };
+    for (double d : cases) {
+        Json v(d);
+        double back = parseOk(v.dump()).number();
+        std::uint64_t a, b;
+        std::memcpy(&a, &d, sizeof(a));
+        std::memcpy(&b, &back, sizeof(b));
+        EXPECT_EQ(a, b) << "value " << d << " dumped as " << v.dump();
+    }
+    // Integral doubles print as integers (diff-friendly).
+    EXPECT_EQ(Json(4.0).dump(), "4");
+    EXPECT_EQ(Json(-17.0).dump(), "-17");
+    EXPECT_EQ(jsonNumberText(1048576.0), "1048576");
+}
+
+TEST(Json, EqualityIgnoresObjectOrderButNotContent)
+{
+    Json a = parseOk("{\"x\": 1, \"y\": [true]}");
+    Json b = parseOk("{\"y\": [true], \"x\": 1}");
+    EXPECT_EQ(a, b);
+    Json c = parseOk("{\"x\": 1, \"y\": [false]}");
+    EXPECT_NE(a, c);
+    EXPECT_NE(parseOk("[1,2]"), parseOk("[2,1]"));
+    EXPECT_EQ(parseOk("1"), parseOk("1.0"));
+}
+
+TEST(Json, RejectsMalformedInputs)
+{
+    const char *cases[] = {
+        "",                      // empty
+        "   ",                   // whitespace only
+        "tru",                   // truncated literal
+        "nul",                   //
+        "falsey",                // trailing garbage inside literal
+        "[1, 2",                 // unterminated array
+        "[1, 2,]",               // trailing comma
+        "[1 2]",                 // missing comma
+        "{\"a\": 1",             // unterminated object
+        "{\"a\" 1}",             // missing colon
+        "{\"a\": }",             // missing value
+        "{a: 1}",                // unquoted key
+        "{\"a\": 1,}",           // trailing comma
+        "{\"a\": 1, \"a\": 2}",  // duplicate key
+        "\"abc",                 // unterminated string
+        "\"ab\\q\"",             // bad escape
+        "\"ab\\u12\"",           // truncated \u
+        "\"ab\\u12zq\"",         // bad hex digit
+        "\"\\ud83d\"",           // lone high surrogate
+        "\"\\ude00\"",           // lone low surrogate
+        "\"\\ud83d\\u0041\"",    // high surrogate + non-low
+        "\"ctl\x01\"",           // raw control character
+        "01",                    // leading zero
+        "+1",                    // leading plus
+        ".5",                    // bare fraction
+        "1.",                    // digitless fraction
+        "1e",                    // digitless exponent
+        "1e+",                   //
+        "0x10",                  // hex
+        "NaN",                   // non-finite
+        "Infinity",              //
+        "1e999",                 // overflows to infinity
+        "1 2",                   // two top-level values
+        "[1] []",                // trailing garbage
+    };
+    for (const char *c : cases)
+        parseErr(c);
+}
+
+TEST(Json, TruncationSweepNeverAcceptsAPrefix)
+{
+    // Every strict prefix of a valid document must be rejected —
+    // the classic fuzz finding for hand-rolled parsers.
+    const std::string doc =
+        "{\"name\": \"fig9\", \"seeds\": 4, \"schemes\": "
+        "[{\"label\": \"U\\u0042ik\", \"slack\": 5e-2}], "
+        "\"ok\": [true, false, null]}";
+    ASSERT_TRUE(parseOk(doc).isObject());
+    for (std::size_t n = 0; n < doc.size(); n++) {
+        Json out;
+        std::string err;
+        EXPECT_FALSE(Json::parse(doc.substr(0, n), out, err))
+            << "prefix of length " << n << " was accepted";
+    }
+}
+
+TEST(Json, DepthLimitIsEnforced)
+{
+    auto nested = [](int depth, char open, char close) {
+        std::string s(static_cast<std::size_t>(depth), open);
+        s += std::string(static_cast<std::size_t>(depth), close);
+        return s;
+    };
+    EXPECT_TRUE(parseOk(nested(Json::kMaxDepth, '[', ']')).isArray());
+    std::string err =
+        parseErr(nested(Json::kMaxDepth + 1, '[', ']'));
+    EXPECT_NE(err.find("nesting"), std::string::npos);
+    // Objects burn depth too.
+    std::string deepObj;
+    for (int i = 0; i < Json::kMaxDepth + 1; i++)
+        deepObj += "{\"k\":";
+    deepObj += "1";
+    for (int i = 0; i < Json::kMaxDepth + 1; i++)
+        deepObj += "}";
+    parseErr(deepObj);
+}
+
+TEST(Json, ErrorsCarryByteOffsets)
+{
+    std::string err = parseErr("{\"a\": tru}");
+    EXPECT_NE(err.find("byte"), std::string::npos);
+    EXPECT_NE(err.find("'true'"), std::string::npos);
+}
+
+TEST(Json, ParseFileReportsMissingFiles)
+{
+    Json out;
+    std::string err;
+    EXPECT_FALSE(Json::parseFile("/nonexistent/no.json", out, err));
+    EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+} // namespace
+} // namespace ubik

@@ -148,6 +148,49 @@ TEST(ResultCacheKey, TraceBackingEntersTheKeyByContent)
     EXPECT_NE(mixResultKey(cacheTestCfg(), per, sut, 1, true), k1);
 }
 
+TEST(ResultCacheKey, BatchTraceBackingEntersTheKeyByContent)
+{
+    const SchemeUnderTest sut = baseSut();
+    const std::string base =
+        mixResultKey(cacheTestCfg(), baseMix(), sut, 1, true);
+
+    auto makeTraceApp = [](Addr salt) {
+        auto td = std::make_shared<TraceData>();
+        td->requestWork = {1000.0};
+        td->requestStart = {0};
+        td->accesses = {salt + 1, salt + 2, salt + 3};
+        return TraceApp::fromData(std::move(td), "bt");
+    };
+
+    // Backing the batch side with a trace changes the key...
+    MixSpec traced = baseMix();
+    traced.batch.traces.push_back(makeTraceApp(0));
+    const std::string k1 =
+        mixResultKey(cacheTestCfg(), traced, sut, 1, true);
+    EXPECT_NE(k1, base);
+
+    // ...by record content, not object identity...
+    MixSpec traced2 = baseMix();
+    traced2.batch.traces.push_back(makeTraceApp(0));
+    EXPECT_EQ(mixResultKey(cacheTestCfg(), traced2, sut, 1, true), k1);
+
+    // ...different records differ...
+    MixSpec other = baseMix();
+    other.batch.traces.push_back(makeTraceApp(100));
+    EXPECT_NE(mixResultKey(cacheTestCfg(), other, sut, 1, true), k1);
+
+    // ...per-instance assignment differs from shared...
+    MixSpec per = baseMix();
+    for (int i = 0; i < 3; i++)
+        per.batch.traces.push_back(makeTraceApp(0));
+    EXPECT_NE(mixResultKey(cacheTestCfg(), per, sut, 1, true), k1);
+
+    // ...and an LC-side trace is not mistaken for a batch-side one.
+    MixSpec lcSide = baseMix();
+    lcSide.lc.traces.push_back(makeTraceApp(0));
+    EXPECT_NE(mixResultKey(cacheTestCfg(), lcSide, sut, 1, true), k1);
+}
+
 TEST(ResultCacheKey, MixExperimentSeedAndSchemaChangeTheKey)
 {
     const ExperimentConfig cfg = cacheTestCfg();

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the declarative scenario API: lossless JSON round-trips
+ * for every registered built-in spec, strict spec parsing (unknown
+ * keys and bad values die loudly), override semantics and
+ * precedence, mix expansion against the legacy constructors, and
+ * kind-name round-trips through the shared maps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "sim/kind_names.h"
+#include "sim/scenario.h"
+
+namespace ubik {
+namespace {
+
+ExperimentConfig
+tinyCfg()
+{
+    ExperimentConfig cfg;
+    cfg.scale = 16.0;
+    cfg.roiRequests = 10;
+    cfg.warmupRequests = 2;
+    cfg.seeds = 2;
+    cfg.mixesPerLc = 2;
+    cfg.jobs = 1;
+    return cfg;
+}
+
+TEST(ScenarioRegistry, NamesAreUniqueAndFindable)
+{
+    const auto &all = ScenarioRegistry::instance().all();
+    ASSERT_GE(all.size(), 11u);
+    std::set<std::string> names;
+    for (const auto &s : all) {
+        EXPECT_TRUE(names.insert(s.name).second)
+            << "duplicate scenario name " << s.name;
+        EXPECT_FALSE(s.schemes.empty()) << s.name;
+        EXPECT_FALSE(s.reports.empty()) << s.name;
+        EXPECT_EQ(ScenarioRegistry::instance().find(s.name), &s);
+    }
+    EXPECT_EQ(ScenarioRegistry::instance().find("nope"), nullptr);
+}
+
+TEST(ScenarioJson, EveryBuiltinRoundTripsLosslessly)
+{
+    for (const auto &s : ScenarioRegistry::instance().all()) {
+        Json j1 = scenarioToJson(s);
+        ScenarioSpec back = scenarioFromJson(j1);
+        Json j2 = scenarioToJson(back);
+        EXPECT_EQ(j1, j2) << "spec " << s.name
+                          << " did not round-trip";
+        // Canonical: the serialized form is a fixed point.
+        EXPECT_EQ(scenarioCanonicalJson(s),
+                  scenarioCanonicalJson(back))
+            << "spec " << s.name;
+    }
+}
+
+TEST(ScenarioJson, RoundTripSurvivesTextSerialization)
+{
+    // Through actual bytes, not just the Json tree — what a spec
+    // file on disk sees, exercising double formatting end to end.
+    for (const auto &s : ScenarioRegistry::instance().all()) {
+        std::string text = scenarioCanonicalJson(s);
+        Json parsed = Json::parseOrDie(text, "round-trip");
+        EXPECT_EQ(scenarioToJson(scenarioFromJson(parsed)), parsed)
+            << "spec " << s.name;
+    }
+}
+
+TEST(ScenarioJson, DefaultsFillMissingFields)
+{
+    ScenarioSpec s = scenarioFromJson(Json::parseOrDie(
+        "{\"name\": \"mini\", \"schemes\": [{\"label\": \"X\"}]}",
+        "test"));
+    EXPECT_EQ(s.name, "mini");
+    EXPECT_EQ(s.title, "mini"); // title defaults to the name
+    EXPECT_EQ(s.source, MixSource::Standard);
+    EXPECT_EQ(s.band, LoadBand::All);
+    EXPECT_TRUE(s.ooo);
+    EXPECT_EQ(s.seeds, 0u);
+    ASSERT_EQ(s.schemes.size(), 1u);
+    // Scheme fields default like a default-constructed SUT.
+    SchemeUnderTest dflt;
+    EXPECT_EQ(s.schemes[0].policy, dflt.policy);
+    EXPECT_EQ(s.schemes[0].array, dflt.array);
+    EXPECT_DOUBLE_EQ(s.schemes[0].slack, dflt.slack);
+    EXPECT_EQ(s.schemes[0].ubik.idleOptions, dflt.ubik.idleOptions);
+}
+
+TEST(ScenarioJsonDeath, UnknownKeysAndBadValuesAreFatal)
+{
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"sedes\": 3}", "t")),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"schemes\": "
+                    "[{\"label\": \"a\", \"policy\": \"Ubbik\"}]}",
+                    "t")),
+                ::testing::ExitedWithCode(1), "unknown policy");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"load\": \"medium\"}", "t")),
+                ::testing::ExitedWithCode(1), "bad load band");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"seeds\": -1}", "t")),
+                ::testing::ExitedWithCode(1), "non-negative");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"schemes\": []}", "t")),
+                ::testing::ExitedWithCode(1), "required");
+    // Ill-typed field: caught by the Json accessor.
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"ooo\": \"yes\"}", "t")),
+                ::testing::ExitedWithCode(1), "expected bool");
+}
+
+TEST(ScenarioOverrides, ApplyAndLaterWins)
+{
+    ScenarioSpec s = *ScenarioRegistry::instance().find("fig9");
+    ASSERT_EQ(s.seeds, 0u);
+
+    // Spec value < first --set < later --set.
+    applyScenarioOverrides(
+        s, {"seeds=3", "mixes=2", "seeds=5", "load=low", "ooo=0"});
+    EXPECT_EQ(s.seeds, 5u);
+    EXPECT_EQ(s.mixesPerLcCap, 2u);
+    EXPECT_EQ(s.band, LoadBand::Low);
+    EXPECT_FALSE(s.ooo);
+
+    // Scheme label filter keeps spec order and drops the rest.
+    applyScenarioOverride(s, "schemes=Ubik,LRU");
+    ASSERT_EQ(s.schemes.size(), 2u);
+    EXPECT_EQ(s.schemes[0].label, "LRU"); // spec order, not ask order
+    EXPECT_EQ(s.schemes[1].label, "Ubik");
+
+    // The seeds override beats UBIK_SEEDS-derived config.
+    ExperimentConfig cfg = tinyCfg();
+    EXPECT_EQ(scenarioConfig(s, cfg).seeds, 5u);
+}
+
+TEST(ScenarioOverridesDeath, BadKeysAndValuesAreFatal)
+{
+    ScenarioSpec s = *ScenarioRegistry::instance().find("fig9");
+    EXPECT_EXIT(applyScenarioOverride(s, "bogus=1"),
+                ::testing::ExitedWithCode(1), "unknown key");
+    EXPECT_EXIT(applyScenarioOverride(s, "seeds=abc"),
+                ::testing::ExitedWithCode(1), "not a non-negative");
+    EXPECT_EXIT(applyScenarioOverride(s, "no-equals"),
+                ::testing::ExitedWithCode(1), "key=value");
+    EXPECT_EXIT(applyScenarioOverride(s, "schemes=NoSuchLabel"),
+                ::testing::ExitedWithCode(1), "no scheme labeled");
+}
+
+TEST(ScenarioMixes, StandardSourceMatchesLegacyConstructors)
+{
+    ExperimentConfig cfg = tinyCfg();
+    const ScenarioSpec &fig9 =
+        *ScenarioRegistry::instance().find("fig9");
+    std::vector<MixSpec> got = buildScenarioMixes(fig9, cfg);
+    std::vector<MixSpec> want =
+        buildMixes(2, /*seed=*/1, cfg.mixesPerLc);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); i++) {
+        EXPECT_EQ(got[i].name, want[i].name);
+        EXPECT_DOUBLE_EQ(got[i].lc.load, want[i].lc.load);
+        EXPECT_EQ(got[i].batch.name, want[i].batch.name);
+    }
+
+    // The per-LC cap composes with UBIK_MIXES as min(), like the
+    // legacy benches' min(cfg.mixesPerLc, N).
+    ScenarioSpec capped = fig9;
+    capped.mixesPerLcCap = 1;
+    EXPECT_EQ(buildScenarioMixes(capped, cfg).size(),
+              buildMixes(2, 1, 1).size());
+    capped.mixesPerLcCap = 99; // larger than UBIK_MIXES: no effect
+    EXPECT_EQ(buildScenarioMixes(capped, cfg).size(), got.size());
+}
+
+TEST(ScenarioMixesDeath, PerLcCapRejectedForNonStandardSources)
+{
+    // A capped cache-hungry/explicit scenario would silently run the
+    // full sweep; it must die instead.
+    ExperimentConfig cfg = tinyCfg();
+    ScenarioSpec s =
+        *ScenarioRegistry::instance().find("ablation-deboost");
+    applyScenarioOverride(s, "mixes=1");
+    EXPECT_EXIT(buildScenarioMixes(s, cfg),
+                ::testing::ExitedWithCode(1),
+                "mixes_per_lc only applies");
+}
+
+TEST(ScenarioMixesDeath, ListedMixesRejectedForNonExplicitSources)
+{
+    // The classic forgotten "source": "explicit" — hand-listed mixes
+    // must not silently give way to the standard matrix.
+    ExperimentConfig cfg = tinyCfg();
+    ScenarioSpec s =
+        *ScenarioRegistry::instance().find("ablation-bandwidth");
+    applyScenarioOverride(s, "source=standard");
+    EXPECT_EXIT(buildScenarioMixes(s, cfg),
+                ::testing::ExitedWithCode(1),
+                "set .source.. .explicit. to run them");
+}
+
+TEST(ScenarioMixes, ExplicitBandFilterSkipsExcludedMixes)
+{
+    ExperimentConfig cfg = tinyCfg();
+    ScenarioSpec s =
+        *ScenarioRegistry::instance().find("ablation-bandwidth");
+    s.band = LoadBand::High;
+    std::vector<MixSpec> mixes = buildScenarioMixes(s, cfg);
+    ASSERT_EQ(mixes.size(), 6u); // half of the 12 explicit mixes
+    for (const MixSpec &m : mixes)
+        EXPECT_FALSE(isLowLoad(m.lc.load)) << m.name;
+}
+
+TEST(ScenarioMixes, BandFilterUsesStructuredLoadMetadata)
+{
+    ExperimentConfig cfg = tinyCfg();
+    ScenarioSpec s = *ScenarioRegistry::instance().find("fig9");
+    s.band = LoadBand::Low;
+    for (const MixSpec &m : buildScenarioMixes(s, cfg)) {
+        EXPECT_TRUE(isLowLoad(m.lc.load)) << m.name;
+        EXPECT_NE(m.name.find("-lo/"), std::string::npos) << m.name;
+    }
+    s.band = LoadBand::High;
+    for (const MixSpec &m : buildScenarioMixes(s, cfg))
+        EXPECT_FALSE(isLowLoad(m.lc.load)) << m.name;
+}
+
+TEST(ScenarioMixes, ExplicitMixesExpandThroughPresets)
+{
+    ExperimentConfig cfg = tinyCfg();
+    const ScenarioSpec &bw =
+        *ScenarioRegistry::instance().find("ablation-bandwidth");
+    std::vector<MixSpec> mixes = buildScenarioMixes(bw, cfg);
+    ASSERT_EQ(mixes.size(), 12u);
+    // First mix: moses at 20% load, three streaming apps — exactly
+    // what the legacy ablation_bandwidth loops built.
+    EXPECT_EQ(mixes[0].name, "moses-lo/sss-0");
+    EXPECT_EQ(mixes[0].lc.app.name, lc_presets::moses().name);
+    EXPECT_DOUBLE_EQ(mixes[0].lc.load, 0.2);
+    EXPECT_EQ(mixes[0].batch.name, "sss-0");
+    for (int i = 0; i < 3; i++)
+        EXPECT_EQ(mixes[0].batch.apps[static_cast<size_t>(i)].cls,
+                  BatchClass::Streaming);
+    EXPECT_EQ(
+        mixes[0].batch.apps[1].name,
+        batch_presets::make(BatchClass::Streaming, 1).name);
+    // Second mix swaps the third app for friendly.
+    EXPECT_EQ(mixes[1].name, "moses-lo/ssf-0");
+    EXPECT_EQ(mixes[1].batch.apps[2].cls, BatchClass::Friendly);
+}
+
+TEST(ScenarioKindNames, RoundTripThroughSharedMaps)
+{
+    for (PolicyKind k :
+         {PolicyKind::Lru, PolicyKind::Ucp, PolicyKind::StaticLc,
+          PolicyKind::OnOff, PolicyKind::Ubik, PolicyKind::Feedback})
+        EXPECT_EQ(policyKindFromName(policyKindName(k)), k);
+    for (ArrayKind k :
+         {ArrayKind::Z4_52, ArrayKind::SA16, ArrayKind::SA64})
+        EXPECT_EQ(arrayKindFromName(arrayKindName(k)), k);
+    EXPECT_EQ(arrayKindFromName("zcache"), ArrayKind::Z4_52);
+    for (SchemeKind k : {SchemeKind::SharedLru, SchemeKind::Vantage,
+                         SchemeKind::WayPart})
+        EXPECT_EQ(schemeKindFromName(schemeKindName(k)), k);
+    EXPECT_EQ(schemeKindFromNameOrAuto("auto", PolicyKind::Lru),
+              SchemeKind::SharedLru);
+    EXPECT_EQ(schemeKindFromNameOrAuto("auto", PolicyKind::Ubik),
+              SchemeKind::Vantage);
+    for (MemKind k : {MemKind::Fixed, MemKind::Contended,
+                      MemKind::Partitioned})
+        EXPECT_EQ(memKindFromName(memKindName(k)), k);
+
+    PolicyKind p;
+    EXPECT_FALSE(tryPolicyKindFromName("nope", p));
+    BatchClass c;
+    EXPECT_TRUE(tryBatchClassFromCode('t', c));
+    EXPECT_EQ(c, BatchClass::Fitting);
+    EXPECT_FALSE(tryBatchClassFromCode('x', c));
+}
+
+TEST(ScenarioKindNamesDeath, UnknownNamesAreFatal)
+{
+    EXPECT_EXIT(policyKindFromName("Ubikk"),
+                ::testing::ExitedWithCode(1), "unknown policy");
+    EXPECT_EXIT(arrayKindFromName("Z8"),
+                ::testing::ExitedWithCode(1), "unknown array");
+    EXPECT_EXIT(memKindFromName("infinite"),
+                ::testing::ExitedWithCode(1), "unknown memory model");
+}
+
+} // namespace
+} // namespace ubik

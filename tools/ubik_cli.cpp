@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/kind_names.h"
 #include "sim/mix_runner.h"
 #include "sim/parallel_sweep.h"
 #include "sim/result_cache.h"
@@ -29,71 +30,6 @@
 #include "stats/streaming_stats.h"
 
 using namespace ubik;
-
-namespace {
-
-PolicyKind
-parsePolicy(const std::string &s)
-{
-    if (s == "LRU")
-        return PolicyKind::Lru;
-    if (s == "UCP")
-        return PolicyKind::Ucp;
-    if (s == "StaticLC")
-        return PolicyKind::StaticLc;
-    if (s == "OnOff")
-        return PolicyKind::OnOff;
-    if (s == "Ubik")
-        return PolicyKind::Ubik;
-    if (s == "Feedback")
-        return PolicyKind::Feedback;
-    fatal("unknown policy '%s' (LRU, UCP, StaticLC, OnOff, Ubik, "
-          "Feedback)",
-          s.c_str());
-}
-
-ArrayKind
-parseArray(const std::string &s)
-{
-    if (s == "Z4/52" || s == "zcache")
-        return ArrayKind::Z4_52;
-    if (s == "SA16")
-        return ArrayKind::SA16;
-    if (s == "SA64")
-        return ArrayKind::SA64;
-    fatal("unknown array '%s' (zcache, SA16, SA64)", s.c_str());
-}
-
-SchemeKind
-parseScheme(const std::string &s, PolicyKind policy)
-{
-    if (s == "auto")
-        return policy == PolicyKind::Lru ? SchemeKind::SharedLru
-                                         : SchemeKind::Vantage;
-    if (s == "Vantage")
-        return SchemeKind::Vantage;
-    if (s == "WayPart")
-        return SchemeKind::WayPart;
-    if (s == "LRU")
-        return SchemeKind::SharedLru;
-    fatal("unknown scheme '%s' (auto, Vantage, WayPart, LRU)",
-          s.c_str());
-}
-
-MemKind
-parseMem(const std::string &s)
-{
-    if (s == "fixed")
-        return MemKind::Fixed;
-    if (s == "contended")
-        return MemKind::Contended;
-    if (s == "partitioned")
-        return MemKind::Partitioned;
-    fatal("unknown memory model '%s' (fixed, contended, partitioned)",
-          s.c_str());
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -108,6 +44,11 @@ main(int argc, char **argv)
                  "replay this .ubtr trace as the LC workload (all "
                  "three instances, disjoint address spaces); --lc "
                  "still supplies the timing model and baselines");
+    auto &batch_trace =
+        cli.flag("batch-trace", "",
+                 "replay this .ubtr trace as all three batch apps "
+                 "(looping, disjoint address spaces); --batch still "
+                 "supplies the timing model and alone-IPC baselines");
     auto &load = cli.flag("load", 0.2, "offered load (0, 1)");
     auto &policy_name =
         cli.flag("policy", "Ubik",
@@ -169,11 +110,12 @@ main(int argc, char **argv)
     cfg.printHeader("ubik_cli");
 
     SchemeUnderTest sut;
-    sut.policy = parsePolicy(policy_name.value);
-    sut.scheme = parseScheme(scheme_name.value, sut.policy);
-    sut.array = parseArray(array_name.value);
+    sut.policy = policyKindFromName(policy_name.value);
+    sut.scheme =
+        schemeKindFromNameOrAuto(scheme_name.value, sut.policy);
+    sut.array = arrayKindFromName(array_name.value);
     sut.slack = slack.value;
-    sut.mem = parseMem(mem.value);
+    sut.mem = memKindFromName(mem.value);
     sut.label = policy_name.value;
 
     MixSpec spec;
@@ -195,8 +137,19 @@ main(int argc, char **argv)
         spec.batch.apps[i] = batch_presets::make(
             batchClassFromCode(batch.value[i]),
             static_cast<std::uint32_t>(i));
+    if (!batch_trace.value.empty()) {
+        std::shared_ptr<const TraceApp> app =
+            TraceApp::load(batch_trace.value);
+        std::printf("replaying batch trace %s (%llu accesses, "
+                    "content hash %016llx)\n",
+                    batch_trace.value.c_str(),
+                    static_cast<unsigned long long>(app->accesses()),
+                    static_cast<unsigned long long>(
+                        app->contentHash()));
+        spec.batch.traces.push_back(std::move(app));
+    }
     spec.name = lc.value + "/" + batch.value;
-    if (!lc_trace.value.empty())
+    if (!lc_trace.value.empty() || !batch_trace.value.empty())
         spec.name += "/trace";
 
     MixRunner runner(cfg, !inorder.value);

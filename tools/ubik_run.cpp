@@ -1,0 +1,179 @@
+/**
+ * @file
+ * ubik_run: the one driver for every declarative experiment — the
+ * registered paper figures/ablations and arbitrary user specs.
+ *
+ *   # What can I run?
+ *   ubik_run --list
+ *
+ *   # Fig 9 at 4 seeds, 2 batch mixes per LC config
+ *   ubik_run fig9 --set seeds=4 --set mixes=2
+ *
+ *   # Dump a built-in spec, edit it, run the edited file
+ *   ubik_run --dump fig9 > my.json
+ *   ubik_run --spec my.json --set schemes=Ubik,StaticLC
+ *
+ *   # Machine-readable results (bit-identical runs diff clean)
+ *   ubik_run fig9 --results fig9.json
+ *
+ * Overrides apply in order after the spec loads, so `--set` always
+ * beats the spec file, and a later `--set` beats an earlier one.
+ * Machine scale stays environmental (UBIK_SCALE, UBIK_REQUESTS,
+ * UBIK_MIXES, UBIK_CACHE_DIR, ... — see src/sim/experiment.h), so
+ * the same spec serves smoke tests and paper-scale sweeps.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/log.h"
+#include "report/report.h"
+#include "sim/scenario.h"
+
+using namespace ubik;
+
+namespace {
+
+void
+listScenarios()
+{
+    std::printf("%-26s %-8s %-13s %s\n", "name", "schemes", "mixes",
+                "title");
+    for (const ScenarioSpec &s : ScenarioRegistry::instance().all()) {
+        std::string mixes;
+        switch (s.source) {
+          case MixSource::Standard:
+            mixes = "standard";
+            if (s.mixesPerLcCap)
+                mixes += "<=" + std::to_string(s.mixesPerLcCap);
+            break;
+          case MixSource::CacheHungry:
+            mixes = "cache-hungry";
+            break;
+          case MixSource::Explicit:
+            mixes = std::to_string(s.mixes.size()) + " explicit";
+            break;
+        }
+        if (s.band != LoadBand::All)
+            mixes += std::string("/") + loadBandName(s.band);
+        std::printf("%-26s %-8zu %-13s %s\n", s.name.c_str(),
+                    s.schemes.size(), mixes.c_str(),
+                    s.title.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("ubik_run",
+            "run a declarative experiment scenario (built-in or from "
+            "a JSON spec)");
+    cli.allowPositionals("scenario",
+                         "name of a registered scenario (see --list)");
+    auto &list = cli.flag("list", false,
+                          "list the registered scenarios and exit");
+    auto &dump =
+        cli.flag("dump", "",
+                 "print a registered scenario's canonical spec JSON "
+                 "and exit");
+    auto &spec_path = cli.flag("spec", "",
+                               "load the scenario from a JSON spec "
+                               "file instead of the registry");
+    auto &sets = cli.multiFlag(
+        "set",
+        "override a spec field, key=value; keys: seeds, mixes, load, "
+        "ooo, source, schemes (label filter); later wins");
+    auto &results =
+        cli.flag("results", "",
+                 "write the full sweep as structured JSON to this "
+                 "path");
+    auto &jobs = cli.flag("jobs", static_cast<std::int64_t>(0),
+                          "engine workers (0 = UBIK_JOBS or all "
+                          "cores, 1 = sequential)");
+    auto &cache_dir =
+        cli.flag("cache-dir", "",
+                 "persistent result cache directory (overrides "
+                 "UBIK_CACHE_DIR)");
+    auto &no_cache = cli.flag("no-cache", false,
+                              "ignore UBIK_CACHE_DIR / --cache-dir");
+    auto &verbose =
+        cli.flag("verbose", false, "chatty progress output");
+    cli.parse(argc, argv);
+
+    setVerbose(verbose.value);
+
+    // The three modes (list, dump, run) are mutually exclusive;
+    // silently ignoring the other mode's flags would "succeed" at
+    // the wrong thing.
+    if (list.value &&
+        (!dump.value.empty() || !spec_path.value.empty() ||
+         !results.value.empty() || !sets.value.empty() ||
+         !cli.positionals().empty()))
+        fatal("--list takes no other arguments");
+    if (!dump.value.empty() &&
+        (!spec_path.value.empty() || !results.value.empty()))
+        fatal("--dump emits a spec; it cannot be combined with "
+              "--spec or --results");
+
+    if (list.value) {
+        listScenarios();
+        return 0;
+    }
+    if (!dump.value.empty()) {
+        if (!cli.positionals().empty())
+            fatal("give a scenario name or --dump, not both");
+        const ScenarioSpec *found =
+            ScenarioRegistry::instance().find(dump.value);
+        if (!found)
+            fatal("unknown scenario '%s' (--list names them)",
+                  dump.value.c_str());
+        // Overrides apply before dumping, so dump/edit/run and
+        // dump-with---set compose.
+        ScenarioSpec dumped = *found;
+        applyScenarioOverrides(dumped, sets.value);
+        std::printf("%s\n", scenarioCanonicalJson(dumped).c_str());
+        return 0;
+    }
+
+    // Resolve the spec: a registered name xor a spec file.
+    ScenarioSpec spec;
+    if (!spec_path.value.empty()) {
+        if (!cli.positionals().empty())
+            fatal("give a scenario name or --spec, not both");
+        Json j;
+        std::string err;
+        if (!Json::parseFile(spec_path.value, j, err))
+            fatal("--spec %s: %s", spec_path.value.c_str(),
+                  err.c_str());
+        spec = scenarioFromJson(j);
+    } else {
+        if (cli.positionals().size() != 1)
+            fatal("expected exactly one scenario name (or --spec / "
+                  "--list / --dump); try --help");
+        const std::string &name = cli.positionals().front();
+        const ScenarioSpec *found =
+            ScenarioRegistry::instance().find(name);
+        if (!found)
+            fatal("unknown scenario '%s' (--list names them)",
+                  name.c_str());
+        spec = *found;
+    }
+
+    applyScenarioOverrides(spec, sets.value);
+
+    ExperimentConfig cfg = ExperimentConfig::fromEnv();
+    if (jobs.value < 0)
+        fatal("--jobs must be >= 0 (0 = UBIK_JOBS or all cores)");
+    if (jobs.value > 0)
+        cfg.jobs = static_cast<std::uint32_t>(jobs.value);
+    if (!cache_dir.value.empty())
+        cfg.cacheDir = cache_dir.value;
+    if (no_cache.value)
+        cfg.cacheDir.clear();
+
+    return executeScenario(spec, cfg, results.value);
+}
