@@ -14,6 +14,11 @@ QueueSim::QueueSim(QueueSimParams params, std::uint64_t seed)
 {
     if (params_.workers == 0)
         fatal("QueueSim: need at least one worker");
+    if (params_.requests == 0)
+        fatal("QueueSim: need at least one measured request");
+    if (params_.service.mean() <= 0)
+        fatal("QueueSim: service distribution must have positive "
+              "mean work");
     if (params_.meanInterarrival <= 0)
         fatal("QueueSim: open-loop arrivals require a positive "
               "mean interarrival time");

@@ -109,6 +109,11 @@ struct Cmp::Core
     Cycles nextArrival = 0;
     std::deque<Cycles> queue; ///< arrival times of waiting requests
 
+    /** Nominal run length, cycles: (warmup+ROI) requests at the
+     *  nominal rate. The load profile's time base — span fractions
+     *  scale with UBIK_SCALE / UBIK_REQUESTS automatically. */
+    double profileSpan = 1.0;
+
     // --- progress
     std::uint64_t completed = 0;
     std::uint64_t intervalRequests = 0;
@@ -152,8 +157,12 @@ Cmp::Cmp(CmpConfig cfg, std::vector<LcAppSpec> lc,
             t.mlp = lc[c].params.mlp;
             core->model = std::make_unique<CoreModel>(cfg_.core, t);
             if (lc[c].meanInterarrival > 0) {
-                core->nextArrival = static_cast<Cycles>(
-                    core->rng.exponential(lc[c].meanInterarrival));
+                lc[c].profile.validate("LcAppSpec load profile");
+                core->profileSpan =
+                    static_cast<double>(lc[c].warmupRequests +
+                                        lc[c].roiRequests) *
+                    lc[c].meanInterarrival;
+                core->nextArrival = arrivalGap(*core, 0);
                 core->nextEvent =
                     core->nextArrival + cfg_.coalesceCycles;
             } else {
@@ -391,6 +400,35 @@ Cmp::accessLlc(std::uint32_t c, Addr addr)
     return out;
 }
 
+/**
+ * One interarrival gap starting at cycle `from`, following the
+ * core's load profile. Exactly one exponential draw per call for
+ * every profile kind, so profiles never perturb RNG stream order.
+ * The nonhomogeneous process divides the nominal-rate gap by the
+ * rate multiple at the gap's start (piecewise-constant rate over
+ * one gap); a Churn departure window is skipped wholesale — no
+ * arrivals can land inside it. The return value is the raw cast
+ * (callers clamp where the legacy path clamped), keeping the
+ * Constant branch bit-identical to the pre-profile arithmetic.
+ */
+Cycles
+Cmp::arrivalGap(Core &core, Cycles from)
+{
+    double gap = core.rng.exponential(core.lcSpec.meanInterarrival);
+    const LoadProfile &prof = core.lcSpec.profile;
+    if (!prof.isConstant()) {
+        double t = static_cast<double>(from) / core.profileSpan;
+        double active = prof.nextActiveFrac(t);
+        double skip = (active - t) * core.profileSpan;
+        // Floor the rate away from zero (a diurnal trough at
+        // amplitude 1): near-zero load means a huge finite gap, not
+        // a division blow-up.
+        double scale = std::max(prof.scaleAt(active), 1e-9);
+        gap = skip + gap / scale;
+    }
+    return static_cast<Cycles>(gap);
+}
+
 void
 Cmp::pumpArrivals(Core &core)
 {
@@ -398,9 +436,8 @@ Cmp::pumpArrivals(Core &core)
         return;
     while (core.nextArrival <= now_) {
         core.queue.push_back(core.nextArrival);
-        double gap = core.rng.exponential(core.lcSpec.meanInterarrival);
-        core.nextArrival +=
-            std::max<Cycles>(1, static_cast<Cycles>(gap));
+        core.nextArrival += std::max<Cycles>(
+            1, arrivalGap(core, core.nextArrival));
     }
 }
 

@@ -34,6 +34,7 @@
 #include "stats/latency_recorder.h"
 #include "workload/batch_app.h"
 #include "workload/lc_app.h"
+#include "workload/load_profile.h"
 #include "common/rng.h"
 #include "common/types.h"
 
@@ -138,6 +139,17 @@ struct LcAppSpec
     /** Mean interarrival time, cycles (0 = closed loop: the next
      *  request arrives the instant the previous one completes). */
     double meanInterarrival = 0;
+
+    /**
+     * Time-varying arrival-rate shape around `meanInterarrival`
+     * (workload/load_profile.h): each exponential gap is divided by
+     * the profile's rate multiple at the previous arrival's
+     * position in the nominal warmup+ROI span. Constant (default)
+     * takes the legacy fixed-rate arithmetic path, bit for bit, and
+     * no profile ever consumes extra RNG draws — so adding one
+     * never perturbs the app stream fork order or any co-runner.
+     */
+    LoadProfile profile;
 
     /** Requests measured in the ROI (after warmup). */
     std::uint64_t roiRequests = 200;
@@ -263,6 +275,7 @@ class Cmp
     void startRequest(std::uint32_t c);
     void finishRequest(std::uint32_t c);
     void pumpArrivals(Core &core);
+    Cycles arrivalGap(Core &core, Cycles from);
     void doReconfigure();
     void doTrace();
     bool allDone() const;

@@ -226,6 +226,10 @@ MixRunner::runMix(const MixSpec &spec, const SchemeUnderTest &sut,
         if (ntraces)
             s.trace = spec.lc.traces[ntraces == 1 ? 0 : i]->data();
         s.meanInterarrival = base.meanInterarrival;
+        // The mix's load profile shapes the open-loop arrivals; the
+        // baseline above stays constant-rate, so the deadline and
+        // the tail reference are profile-independent.
+        s.profile = spec.lc.profile;
         s.roiRequests = cfg_.roiRequests;
         s.warmupRequests = cfg_.warmupRequests;
         s.targetLines = cfg_.privateLines();

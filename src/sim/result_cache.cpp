@@ -362,6 +362,10 @@ mixResultKey(const ExperimentConfig &cfg, const MixSpec &mix,
     kb.add("mix.name", mix.name);
     addLcApp(kb, mix.lc.app);
     kb.add("lc.load", mix.lc.load);
+    // Canonical profile string (kind + kind-relevant parameters as
+    // exact bit patterns): a constant profile keys as "constant", and
+    // any parameter change is a different key.
+    kb.add("lc.profile", mix.lc.profile.canonical());
     // Trace-backed mixes key on the traces' logical content, so an
     // edited trace (or a different per-instance assignment) never
     // serves a stale result, while re-encoding the same records

@@ -55,8 +55,11 @@ namespace ubik {
  *  request-cursor/address-salt semantics, which shifts any result
  *  that involved a bound trace); v3 = PR 5 (trace-backed *batch*
  *  apps enter the key, and enum fields are keyed by their canonical
- *  names — sim/kind_names.h — instead of raw integers). */
-constexpr std::uint32_t kResultCacheSchemaVersion = 3;
+ *  names — sim/kind_names.h — instead of raw integers); v4 = PR 6
+ *  (mix keys gain the LC load profile, and the tailMean nearest-rank
+ *  fix shifts every stored lcTailMean/tailDegradation and LC
+ *  baseline, so all v3 values are stale). */
+constexpr std::uint32_t kResultCacheSchemaVersion = 4;
 
 /** Counters since this ResultCache was opened. */
 struct CacheStats

@@ -312,6 +312,69 @@ mixFromJson(const Json &j)
     return m;
 }
 
+/** Kind plus its relevant parameters only, mirroring
+ *  LoadProfile::canonical(), so the serialized form is canonical. */
+Json
+profileToJson(const LoadProfile &p)
+{
+    Json j = Json::object();
+    j.set("kind", loadProfileKindName(p.kind));
+    switch (p.kind) {
+      case LoadProfileKind::Constant:
+        break;
+      case LoadProfileKind::Diurnal:
+        j.set("amplitude", p.amplitude);
+        j.set("periods", p.periods);
+        break;
+      case LoadProfileKind::FlashCrowd:
+        j.set("start", p.start);
+        j.set("duration", p.duration);
+        j.set("multiplier", p.multiplier);
+        break;
+      case LoadProfileKind::Bursts:
+        j.set("bursts", p.bursts);
+        j.set("duration", p.duration);
+        j.set("multiplier", p.multiplier);
+        j.set("burst_seed", p.burstSeed);
+        break;
+      case LoadProfileKind::Churn:
+        j.set("start", p.start);
+        j.set("duration", p.duration);
+        break;
+    }
+    return j;
+}
+
+LoadProfile
+profileFromJson(const Json &j)
+{
+    checkKeys(j,
+              {"kind", "amplitude", "periods", "start", "duration",
+               "multiplier", "bursts", "burst_seed"},
+              "load_profile");
+    LoadProfile p;
+    std::string kind = strField(j, "kind", "constant");
+    if (!tryLoadProfileKindFromName(kind, p.kind))
+        fatal("scenario load_profile: unknown kind \"%s\" (constant, "
+              "diurnal, flash-crowd, bursts, churn)",
+              kind.c_str());
+    p.amplitude = numField(j, "amplitude", p.amplitude);
+    p.periods = numField(j, "periods", p.periods);
+    p.start = numField(j, "start", p.start);
+    p.duration = numField(j, "duration", p.duration);
+    p.multiplier = numField(j, "multiplier", p.multiplier);
+    p.bursts = u32Field(j, "bursts", p.bursts);
+    if (const Json *v = j.find("burst_seed")) {
+        double d = v->number();
+        if (d < 0 || d != std::floor(d))
+            fatal("scenario load_profile: \"burst_seed\" must be a "
+                  "non-negative integer");
+        p.burstSeed = static_cast<std::uint64_t>(d);
+    }
+    p.validate("scenario load_profile");
+    return p;
+}
+
 Json
 reportToJson(const ReportBlock &b)
 {
@@ -372,6 +435,8 @@ scenarioToJson(const ScenarioSpec &spec)
     j.set("ooo", spec.ooo);
     if (spec.seeds)
         j.set("seeds", spec.seeds);
+    if (!spec.profile.isConstant())
+        j.set("load_profile", profileToJson(spec.profile));
     Json reports = Json::array();
     for (const auto &b : spec.reports)
         reports.push(reportToJson(b));
@@ -385,7 +450,7 @@ scenarioFromJson(const Json &j)
     checkKeys(j,
               {"name", "title", "notes", "schemes", "source",
                "mixes_per_lc", "load", "mixes", "ooo", "seeds",
-               "reports"},
+               "load_profile", "reports"},
               "spec");
     ScenarioSpec spec;
     spec.name = strField(j, "name", "");
@@ -411,6 +476,8 @@ scenarioFromJson(const Json &j)
             spec.mixes.push_back(mixFromJson(jm));
     spec.ooo = boolField(j, "ooo", true);
     spec.seeds = u32Field(j, "seeds", 0);
+    if (const Json *v = j.find("load_profile"))
+        spec.profile = profileFromJson(*v);
     if (const Json *v = j.find("reports"))
         for (const Json &jb : v->items())
             spec.reports.push_back(reportFromJson(jb));
@@ -465,6 +532,16 @@ applyScenarioOverride(ScenarioSpec &spec, const std::string &assignment)
             fatal("--set source: '%s' is not standard, cache-hungry, "
                   "or explicit",
                   value.c_str());
+    } else if (key == "profile") {
+        // Kind only, at the default parameters; full profiles come
+        // from the spec file's "load_profile" block.
+        LoadProfile p;
+        if (!tryLoadProfileKindFromName(value, p.kind))
+            fatal("--set profile: '%s' is not constant, diurnal, "
+                  "flash-crowd, bursts, or churn",
+                  value.c_str());
+        p.validate("--set profile");
+        spec.profile = p;
     } else if (key == "schemes") {
         // Comma-separated label filter, keeping spec order.
         std::vector<std::string> want;
@@ -476,6 +553,18 @@ applyScenarioOverride(ScenarioSpec &spec, const std::string &assignment)
                 start = i + 1;
             }
         }
+        // An empty filter (or one of only separators/whitespace)
+        // would silently empty spec.schemes and run a zero-scheme
+        // sweep; a repeated label is equally a typo. Both die here.
+        if (want.empty())
+            fatal("--set schemes: empty label filter would leave "
+                  "scenario '%s' with no schemes to run",
+                  spec.name.c_str());
+        for (std::size_t i = 0; i < want.size(); i++)
+            for (std::size_t k = i + 1; k < want.size(); k++)
+                if (want[i] == want[k])
+                    fatal("--set schemes: label '%s' listed twice",
+                          want[i].c_str());
         std::vector<SchemeUnderTest> kept;
         for (const auto &s : spec.schemes)
             if (std::find(want.begin(), want.end(), s.label) !=
@@ -493,7 +582,7 @@ applyScenarioOverride(ScenarioSpec &spec, const std::string &assignment)
         spec.schemes = std::move(kept);
     } else {
         fatal("--set: unknown key '%s' (seeds, mixes, load, ooo, "
-              "source, schemes)",
+              "source, profile, schemes)",
               key.c_str());
     }
 }
@@ -602,16 +691,21 @@ buildScenarioMixes(const ScenarioSpec &spec,
         fatal("scenario '%s': \"mixes\" are listed but the source is "
               "%s — set \"source\": \"explicit\" to run them",
               spec.name.c_str(), mixSourceName(spec.source));
+    spec.profile.validate(
+        ("scenario '" + spec.name + "' load_profile").c_str());
+    std::vector<MixSpec> selected;
     switch (spec.source) {
       case MixSource::Standard: {
         std::uint32_t per_lc = cfg.mixesPerLc;
         if (spec.mixesPerLcCap)
             per_lc = std::min(per_lc, spec.mixesPerLcCap);
-        return filterBand(buildMixes(2, /*seed=*/1, per_lc),
-                          spec.band);
+        selected =
+            filterBand(buildMixes(2, /*seed=*/1, per_lc), spec.band);
+        break;
       }
       case MixSource::CacheHungry:
-        return filterBand(cacheHungryMixes(), spec.band);
+        selected = filterBand(cacheHungryMixes(), spec.band);
+        break;
       case MixSource::Explicit: {
         if (spec.mixes.empty())
             fatal("scenario '%s': source is explicit but \"mixes\" "
@@ -619,18 +713,22 @@ buildScenarioMixes(const ScenarioSpec &spec,
                   spec.name.c_str());
         // Filter before expanding so band-excluded mixes never load
         // their traces.
-        std::vector<MixSpec> out;
         TraceLoader traces;
         for (const auto &e : spec.mixes) {
             if (spec.band != LoadBand::All &&
                 isLowLoad(e.load) != (spec.band == LoadBand::Low))
                 continue;
-            out.push_back(expandMix(e, traces));
+            selected.push_back(expandMix(e, traces));
         }
-        return out;
+        break;
       }
     }
-    panic("bad MixSource");
+    // The spec's load profile applies to every selected mix's LC
+    // side; it rides inside the MixSpec from here on (through
+    // MixRunner into the Cmp arrival pump and the cache keys).
+    for (MixSpec &m : selected)
+        m.lc.profile = spec.profile;
+    return selected;
 }
 
 std::vector<SweepResult>

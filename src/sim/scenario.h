@@ -37,6 +37,7 @@
 #include "common/json.h"
 #include "report/report.h"
 #include "sim/mix_runner.h"
+#include "workload/load_profile.h"
 #include "workload/mix.h"
 
 namespace ubik {
@@ -123,6 +124,15 @@ struct ScenarioSpec
     bool ooo = true;          ///< out-of-order vs in-order cores
     std::uint32_t seeds = 0;  ///< 0 = UBIK_SEEDS
 
+    /**
+     * Time-varying offered load, stamped into every selected mix's
+     * LC side (workload/load_profile.h). Constant (the default)
+     * reproduces the legacy fixed-rate arrivals bit for bit.
+     * Serialized as the "load_profile" spec block; the baselines the
+     * SLO is judged against always run at the constant nominal rate.
+     */
+    LoadProfile profile;
+
     std::vector<ReportBlock> reports;
 };
 
@@ -150,10 +160,13 @@ std::string scenarioCanonicalJson(const ScenarioSpec &spec);
 
 /**
  * Apply one "key=value" override. Keys: seeds, mixes (per-LC cap),
- * load (all/low/high), ooo (bool), source, schemes (comma-separated
- * label filter, kept in spec order). fatal() on unknown keys or bad
- * values. Later overrides win (sequential application), and all of
- * them win over the spec file / registry values.
+ * load (all/low/high), ooo (bool), source, profile (load-profile
+ * kind, default parameters), schemes (comma-separated label filter,
+ * kept in spec order; an empty or duplicate-label filter is fatal —
+ * a zero-scheme sweep is never what the user meant). fatal() on
+ * unknown keys or bad values. Later overrides win (sequential
+ * application), and all of them win over the spec file / registry
+ * values.
  */
 void applyScenarioOverride(ScenarioSpec &spec,
                            const std::string &assignment);

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Seeded random-scenario generator: property-testing fuel for the
+ * paper's SLO guarantee.
+ *
+ * Each seed maps — purely, via Rng::jobStream — to one small valid
+ * ScenarioSpec: a random LC preset/load colocated with three random
+ * batch apps, run under StaticLC (the isolation reference) and Ubik
+ * at a random slack, with a random load profile (constant included:
+ * the guarantee must hold in the static regime too). The SLO
+ * property suite (tests/integration/slo_property_test.cpp) sweeps a
+ * batch of these and asserts Ubik's tail degradation tracks
+ * StaticLC's within the configured slack; `ubik_gen` emits the same
+ * specs as JSON so any seed can be replayed standalone with
+ * `ubik_run --spec`, and a violating spec can be committed verbatim
+ * under tests/integration/specs/ as a regression.
+ *
+ * All knobs draw from small quantized sets, so a batch of hundreds
+ * of scenarios shares a handful of LC/batch baselines — the sweep
+ * stays CI-feasible — while still crossing presets, loads, batch
+ * pressure, slacks, and every profile kind.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/scenario.h"
+
+namespace ubik {
+
+/** The spec for generator seed `seed` (named "gen-<seed>"); pure and
+ *  stable — the same seed always yields the same spec. */
+ScenarioSpec generateScenario(std::uint64_t seed);
+
+} // namespace ubik

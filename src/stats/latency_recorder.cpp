@@ -69,12 +69,16 @@ LatencyRecorder::tailMean(double pct) const
         return 0.0;
     ensureSorted();
     auto n = sortedCache_.size();
-    // First index included in the tail: the request at the percentile
-    // rank and everything above it.
-    std::size_t first = static_cast<std::size_t>(
-        std::floor(pct / 100.0 * static_cast<double>(n)));
-    if (first >= n)
-        first = n - 1;
+    // The tail starts at the nearest-rank percentile sample itself —
+    // the same rank = ceil(p/100 * n) convention percentile() uses —
+    // and includes everything above it.
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    std::size_t first = rank - 1;
     double sum = 0;
     for (std::size_t i = first; i < n; i++)
         sum += static_cast<double>(sortedCache_[i]);

@@ -20,6 +20,7 @@
 
 #include "workload/batch_app.h"
 #include "workload/lc_app.h"
+#include "workload/load_profile.h"
 #include "workload/trace_app.h"
 
 namespace ubik {
@@ -48,6 +49,16 @@ struct LcConfig
 {
     LcAppParams app;
     double load = 0.2; ///< offered load rho = lambda/mu
+
+    /**
+     * Time-varying arrival-rate shape around the nominal `load`
+     * (workload/load_profile.h). Constant (the default) is the
+     * legacy fixed-rate open loop, bit for bit. Applies to mix runs
+     * only — baselines are always calibrated at the constant nominal
+     * rate, so the SLO reference point is load-profile-independent.
+     * The profile's canonical form enters the ResultCache mix key.
+     */
+    LoadProfile profile;
 
     /**
      * Trace-backed replay. Empty: the three instances run the

@@ -199,6 +199,30 @@ TEST(QueueSim, RejectsBadConfigs)
     p.interferenceFactor = -0.1;
     EXPECT_EXIT(QueueSim(p, 1), testing::ExitedWithCode(1),
                 "interference");
+    // A degenerate config that used to slip through construction and
+    // only misbehave at run() time: zero measured requests, which
+    // produced empty recorders feeding 0-latency "results" into every
+    // downstream ratio. (The sibling degenerate case, an all-zero
+    // service distribution, is unconstructible — the
+    // ServiceDistribution factories assert positive work — but
+    // QueueSim validates service.mean() > 0 anyway in case a new
+    // factory forgets.)
+    p = md1(0.5);
+    p.requests = 0;
+    EXPECT_EXIT(QueueSim(p, 1), testing::ExitedWithCode(1),
+                "request");
+}
+
+TEST(QueueSim, WarmupOnlyConfigStillMeasures)
+{
+    // requests counts *measured* requests, so warmup-heavy configs
+    // remain valid as long as requests >= 1.
+    QueueSimParams p = md1(0.3);
+    p.requests = 1;
+    p.warmup = 100;
+    QueueSimResult r = QueueSim(p, 1).run();
+    EXPECT_EQ(r.latencies.count(), 1u);
+    EXPECT_GT(r.latencies.mean(), 0.0);
 }
 
 /** Load sweep: sojourn time is monotone in load for every worker

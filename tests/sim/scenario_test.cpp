@@ -155,6 +155,89 @@ TEST(ScenarioOverridesDeath, BadKeysAndValuesAreFatal)
                 ::testing::ExitedWithCode(1), "no scheme labeled");
 }
 
+TEST(ScenarioOverridesDeath, DegenerateSchemesFiltersAreFatal)
+{
+    // "--set schemes=" used to silently empty the scheme table and
+    // run a zero-scheme sweep that "passed" with no output.
+    ScenarioSpec s = *ScenarioRegistry::instance().find("fig9");
+    EXPECT_EXIT(applyScenarioOverride(s, "schemes="),
+                ::testing::ExitedWithCode(1),
+                "no schemes to run");
+    EXPECT_EXIT(applyScenarioOverride(s, "schemes=,,"),
+                ::testing::ExitedWithCode(1),
+                "no schemes to run");
+    // A duplicate label is a typo for a different label, not a way
+    // to run a scheme twice.
+    EXPECT_EXIT(applyScenarioOverride(s, "schemes=Ubik,Ubik"),
+                ::testing::ExitedWithCode(1), "listed twice");
+}
+
+TEST(ScenarioOverrides, ProfileOverrideSetsKindWithDefaults)
+{
+    ScenarioSpec s = *ScenarioRegistry::instance().find("fig9");
+    ASSERT_TRUE(s.profile.isConstant());
+
+    applyScenarioOverride(s, "profile=flash-crowd");
+    EXPECT_EQ(s.profile.kind, LoadProfileKind::FlashCrowd);
+    LoadProfile dflt;
+    dflt.kind = LoadProfileKind::FlashCrowd;
+    EXPECT_EQ(s.profile, dflt); // default window parameters
+
+    // Later wins, and constant turns dynamics back off.
+    applyScenarioOverride(s, "profile=constant");
+    EXPECT_TRUE(s.profile.isConstant());
+
+    EXPECT_EXIT(applyScenarioOverride(s, "profile=tsunami"),
+                ::testing::ExitedWithCode(1), "profile");
+}
+
+TEST(ScenarioJson, LoadProfileRoundTripsAndStampsMixes)
+{
+    // The registered dynamic scenarios carry non-constant profiles;
+    // those must survive the JSON round-trip and land on every
+    // expanded mix's LC config (the result-cache key path).
+    ExperimentConfig cfg = tinyCfg();
+    for (const char *name :
+         {"flash-crowd", "diurnal", "bursts", "churn"}) {
+        const ScenarioSpec *s = ScenarioRegistry::instance().find(name);
+        ASSERT_NE(s, nullptr) << name;
+        EXPECT_FALSE(s->profile.isConstant()) << name;
+
+        ScenarioSpec back = scenarioFromJson(scenarioToJson(*s));
+        EXPECT_EQ(back.profile, s->profile) << name;
+        EXPECT_EQ(back.profile.canonical(), s->profile.canonical());
+
+        for (const MixSpec &m : buildScenarioMixes(*s, cfg))
+            EXPECT_EQ(m.lc.profile, s->profile) << name;
+    }
+    // Constant scenarios omit the block entirely (schema stability:
+    // old spec files keep parsing byte-identically).
+    const ScenarioSpec *fig9 = ScenarioRegistry::instance().find("fig9");
+    EXPECT_EQ(scenarioToJson(*fig9).find("load_profile"), nullptr);
+}
+
+TEST(ScenarioJsonDeath, BadLoadProfileBlocksAreFatal)
+{
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"schemes\": [{\"label\": "
+                    "\"a\"}], \"load_profile\": {\"kind\": "
+                    "\"tsunami\"}}",
+                    "t")),
+                ::testing::ExitedWithCode(1), "unknown kind");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"schemes\": [{\"label\": "
+                    "\"a\"}], \"load_profile\": {\"kind\": "
+                    "\"flash-crowd\", \"multiplier\": 0.5}}",
+                    "t")),
+                ::testing::ExitedWithCode(1), "multiplier");
+    EXPECT_EXIT(scenarioFromJson(Json::parseOrDie(
+                    "{\"name\": \"x\", \"schemes\": [{\"label\": "
+                    "\"a\"}], \"load_profile\": {\"kind\": "
+                    "\"diurnal\", \"bursty\": 1}}",
+                    "t")),
+                ::testing::ExitedWithCode(1), "unknown key");
+}
+
 TEST(ScenarioMixes, StandardSourceMatchesLegacyConstructors)
 {
     ExperimentConfig cfg = tinyCfg();

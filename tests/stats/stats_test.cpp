@@ -127,9 +127,57 @@ TEST(LatencyRecorder, TailMeanIsMeanBeyondPercentile)
     for (Cycles c = 1; c <= 100; c++)
         r.record(c);
     // Mean of {95..100} = 97.5 (tail includes the percentile point).
-    EXPECT_NEAR(r.tailMean(95.0), 97.5, 0.51);
-    // Whole distribution at pct ~ 0.
-    EXPECT_NEAR(r.tailMean(1.0), 50.5, 1.0);
+    EXPECT_DOUBLE_EQ(r.tailMean(95.0), 97.5);
+    // Whole distribution at pct -> 0: every sample is in the tail.
+    EXPECT_DOUBLE_EQ(r.tailMean(1.0), 50.5);
+    EXPECT_DOUBLE_EQ(r.tailMean(100.0), 100.0);
+}
+
+TEST(LatencyRecorder, TailMeanNearestRankAlignment)
+{
+    // The tail must start at the nearest-rank percentile sample —
+    // the same sample percentile() reports — for every n, including
+    // the exact-integer-rank case the old floor() indexing got wrong
+    // (n = 20, pct = 95: rank ceil(0.95 * 20) = 19, so the tail is
+    // {19, 20}, not {20} alone).
+    LatencyRecorder r;
+    for (Cycles c = 1; c <= 20; c++)
+        r.record(c);
+    EXPECT_DOUBLE_EQ(r.percentile(95.0), 19.0);
+    EXPECT_DOUBLE_EQ(r.tailMean(95.0), 19.5);
+
+    // Non-integer rank: ceil(0.95 * 21) = 20 -> tail {20, 21}.
+    r.record(21);
+    EXPECT_DOUBLE_EQ(r.percentile(95.0), 20.0);
+    EXPECT_DOUBLE_EQ(r.tailMean(95.0), 20.5);
+
+    // Tiny n degenerates to the max, never an out-of-range rank.
+    LatencyRecorder one;
+    one.record(7);
+    EXPECT_DOUBLE_EQ(one.tailMean(95.0), 7.0);
+    EXPECT_DOUBLE_EQ(one.tailMean(100.0), 7.0);
+}
+
+TEST(LatencyRecorder, TailMeanContainsPercentileSample)
+{
+    // Cross-check against percentile() over many n: the tail mean is
+    // the mean of sorted[rank-1 ..], so it always includes the
+    // percentile sample and never dips below it.
+    for (int n = 1; n <= 200; n++) {
+        LatencyRecorder r;
+        for (Cycles c = 1; c <= static_cast<Cycles>(n); c++)
+            r.record(c);
+        double p = r.percentile(95.0);
+        std::size_t rank = static_cast<std::size_t>(p); // samples 1..n
+        double sum = 0;
+        for (std::size_t v = rank; v <= static_cast<std::size_t>(n);
+             v++)
+            sum += static_cast<double>(v);
+        double expect =
+            sum / static_cast<double>(n - rank + 1);
+        EXPECT_DOUBLE_EQ(r.tailMean(95.0), expect) << "n = " << n;
+        EXPECT_GE(r.tailMean(95.0), p);
+    }
 }
 
 TEST(LatencyRecorder, TailMeanResistsGaming)
