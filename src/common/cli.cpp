@@ -1,5 +1,6 @@
 #include "common/cli.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <variant>
@@ -39,10 +40,17 @@ struct Cli::Entry
             return;
         }
         if (auto **f = std::get_if<Flag<std::int64_t> *>(&target)) {
+            // Base 10 always: base-0 auto-detection reads the classic
+            // zero-padded "--seeds 010" as octal 8, silently running
+            // a different experiment than the user asked for.
+            errno = 0;
             char *end = nullptr;
-            long long v = std::strtoll(text.c_str(), &end, 0);
+            long long v = std::strtoll(text.c_str(), &end, 10);
             if (end == text.c_str() || *end != '\0')
-                fatal("--%s: '%s' is not an integer", name.c_str(),
+                fatal("--%s: '%s' is not a base-10 integer",
+                      name.c_str(), text.c_str());
+            if (errno == ERANGE)
+                fatal("--%s: '%s' is out of range", name.c_str(),
                       text.c_str());
             (*f)->value = v;
             (*f)->seen = true;

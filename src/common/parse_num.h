@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Strict string-to-integer parsing: whole-string, base-10,
+ * range-checked.
+ *
+ * The libc strtol family silently tolerates exactly the inputs that
+ * bite in configuration strings: trailing garbage ("4x" parses as 4),
+ * leading whitespace, negative values wrapping through unsigned
+ * casts, and out-of-range values clamping to LONG_MAX and then
+ * truncating through a narrowing cast ("4294967297" becoming 1
+ * worker). Every environment/CLI integer in the tree funnels through
+ * this helper so malformed input is either rejected or reported,
+ * never silently reinterpreted.
+ */
+
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+
+namespace ubik {
+
+/**
+ * Parse `s` as a non-negative base-10 integer <= `max`. Returns false
+ * on null/empty input, any non-digit character (including signs,
+ * whitespace, hex prefixes, and trailing garbage), or a value that
+ * overflows either unsigned long long or `max`.
+ */
+inline bool
+parseU64Strict(const char *s, std::uint64_t max, std::uint64_t &out)
+{
+    if (!s || !*s)
+        return false;
+    // strtoull itself accepts leading whitespace and a sign (negative
+    // values wrap); requiring a digit first rejects both up front.
+    if (*s < '0' || *s > '9')
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (errno == ERANGE || end == s || *end != '\0')
+        return false;
+    if (v > max)
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace ubik

@@ -285,7 +285,8 @@ printCacheStats(const ResultCache &cache, std::FILE *out)
     std::fprintf(out,
                  "  [cache] %s: %llu hits (%llu mix), %llu misses "
                  "(%llu mix), %llu stores, %llu stale evicted, "
-                 "%llu corrupt dropped\n",
+                 "%llu corrupt dropped, %llu claims live, "
+                 "%llu claims reclaimed\n",
                  cache.dir().c_str(),
                  static_cast<unsigned long long>(st.hits),
                  static_cast<unsigned long long>(st.mixHits),
@@ -293,7 +294,9 @@ printCacheStats(const ResultCache &cache, std::FILE *out)
                  static_cast<unsigned long long>(st.mixMisses),
                  static_cast<unsigned long long>(st.stores),
                  static_cast<unsigned long long>(st.evicted),
-                 static_cast<unsigned long long>(st.corrupt));
+                 static_cast<unsigned long long>(st.corrupt),
+                 static_cast<unsigned long long>(st.claimsLive),
+                 static_cast<unsigned long long>(st.claimsGced));
 }
 
 } // namespace ubik

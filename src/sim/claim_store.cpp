@@ -1,0 +1,216 @@
+#include "sim/claim_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "common/hash.h"
+#include "common/log.h"
+
+namespace ubik {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+hexU64(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+    return buf;
+}
+
+std::uint64_t
+fnvString(const std::string &s)
+{
+    return fnv1a64Bytes(
+        kFnvOffsetBasis,
+        reinterpret_cast<const std::uint8_t *>(s.data()), s.size());
+}
+
+/** Keep owner ids filesystem-safe: they name tombstone files. */
+std::string
+sanitizeOwner(std::string owner)
+{
+    for (char &c : owner) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                  c == '-';
+        if (!ok)
+            c = '_';
+    }
+    return owner.empty() ? std::string("anon") : owner;
+}
+
+double
+ageSec(fs::file_time_type mtime)
+{
+    return std::chrono::duration<double>(
+               fs::file_time_type::clock::now() - mtime)
+        .count();
+}
+
+} // namespace
+
+ClaimStore::ClaimStore(const std::string &cache_dir, std::string owner,
+                       double ttl_sec)
+    : dir_(cache_dir + "/" + kSubdir),
+      owner_(sanitizeOwner(std::move(owner))), ttlSec_(ttl_sec)
+{
+    if (ttlSec_ <= 0)
+        fatal("claim store: lease TTL must be > 0s (got %f)", ttlSec_);
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (!fs::is_directory(dir_))
+        fatal("claim store: cannot create '%s' (%s)", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+ClaimStore::leasePath(const std::string &key) const
+{
+    // Two independent 64-bit FNV streams: filenames must be
+    // filesystem-safe, and 128 bits keeps accidental collision
+    // (which would only serialize two unrelated jobs, never corrupt
+    // a result) out of reach for any practical sweep size.
+    return dir_ + "/" + hexU64(fnvString(key)) +
+           hexU64(fnvString(key + "#2")) + ".lease";
+}
+
+bool
+ClaimStore::tryAcquire(const std::string &key)
+{
+    std::string path = leasePath(key);
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        if (errno != EEXIST)
+            fatal("claim store: cannot create lease %s: %s",
+                  path.c_str(), std::strerror(errno));
+        return false;
+    }
+    // Contents are for humans debugging a wedged fleet; existence +
+    // mtime are the protocol.
+    std::string body = owner_ + " " + key + "\n";
+    ssize_t unused = ::write(fd, body.data(), body.size());
+    (void)unused;
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.insert(path);
+    return true;
+}
+
+void
+ClaimStore::release(const std::string &key)
+{
+    std::string path = leasePath(key);
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        held_.erase(path);
+    }
+    // ENOENT is fine: a peer that presumed us dead broke the lease;
+    // the recompute it triggers is a duplicate of an identical value.
+    std::error_code ec;
+    fs::remove(path, ec);
+}
+
+void
+ClaimStore::heartbeatAll()
+{
+    std::vector<std::string> mine;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        mine.assign(held_.begin(), held_.end());
+    }
+    for (const std::string &path : mine) {
+        std::error_code ec;
+        fs::last_write_time(path, fs::file_time_type::clock::now(),
+                            ec);
+        // A failure means the lease was broken under us; the work
+        // still completes and publishes, just possibly twice.
+    }
+}
+
+bool
+ClaimStore::staleAt(const std::string &path) const
+{
+    std::error_code ec;
+    fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return false; // absent: nothing to break
+    return ageSec(mtime) > ttlSec_;
+}
+
+bool
+ClaimStore::breakStale(const std::string &key)
+{
+    std::string path = leasePath(key);
+    std::error_code ec;
+    fs::file_time_type mtime = fs::last_write_time(path, ec);
+    if (ec)
+        return true; // no lease: claimable
+    if (ageSec(mtime) <= ttlSec_)
+        return false; // live owner
+    // Atomic rename to a per-breaker tombstone: of N racing breakers
+    // exactly one wins the rename; losers see ENOENT, which means
+    // "someone broke it" — equally claimable.
+    std::string tomb = path + ".rip-" + owner_;
+    if (std::rename(path.c_str(), tomb.c_str()) == 0) {
+        fs::remove(tomb, ec);
+        return true;
+    }
+    return errno == ENOENT;
+}
+
+std::uint64_t
+ClaimStore::gcStale()
+{
+    std::uint64_t reclaimed = 0;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec), end;
+    if (ec)
+        return 0;
+    for (; it != end; it.increment(ec)) {
+        if (ec)
+            break;
+        std::string path = it->path().string();
+        if (path.size() < 6 ||
+            path.compare(path.size() - 6, 6, ".lease") != 0)
+            continue;
+        if (!staleAt(path))
+            continue;
+        std::string tomb = path + ".rip-" + owner_;
+        if (std::rename(path.c_str(), tomb.c_str()) == 0) {
+            std::error_code rec;
+            fs::remove(tomb, rec);
+            reclaimed++;
+        }
+    }
+    return reclaimed;
+}
+
+std::vector<std::string>
+ClaimStore::held() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<std::string>(held_.begin(), held_.end());
+}
+
+std::string
+ClaimStore::defaultOwner()
+{
+    char host[128] = "host";
+    if (::gethostname(host, sizeof(host)) != 0)
+        std::snprintf(host, sizeof(host), "host");
+    host[sizeof(host) - 1] = '\0';
+    return std::string(host) + "-" +
+           std::to_string(static_cast<long>(::getpid()));
+}
+
+} // namespace ubik

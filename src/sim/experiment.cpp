@@ -1,9 +1,11 @@
 #include "sim/experiment.h"
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 
 #include "common/log.h"
+#include "common/parse_num.h"
 #include "sim/job_pool.h"
 #include "sim/result_cache.h"
 
@@ -52,24 +54,54 @@ ExperimentConfig::fromEnv()
     cfg.seeds = static_cast<std::uint32_t>(envU64("UBIK_SEEDS", 1));
     cfg.mixesPerLc =
         static_cast<std::uint32_t>(envU64("UBIK_MIXES", 3));
-    // Signed parse with full validation ("-1" must not wrap into
-    // ~2^32 worker threads); this is the one place UBIK_JOBS warns.
+    // Strict whole-string parse with range validation: "-1" must not
+    // wrap into ~2^32 worker threads, "4x" must not run 4 workers,
+    // and 2^32+1 must not truncate to 1. Malformed input is fatal
+    // here — the single validation site — so it cannot silently run
+    // the wrong experiment shape (JobPool::resolveWorkers ignores bad
+    // values because callers resolve several times per run).
     const char *jobs_env = std::getenv("UBIK_JOBS");
     if (jobs_env && *jobs_env) {
-        char *end = nullptr;
-        long v = std::strtol(jobs_env, &end, 10);
-        if (v < 0 || end == jobs_env || *end) {
-            warn("UBIK_JOBS='%s' is not a non-negative integer; "
-                 "using all cores",
-                 jobs_env);
-            v = 0;
-        }
+        std::uint64_t v = 0;
+        if (!parseU64Strict(jobs_env, UINT_MAX, v))
+            fatal("UBIK_JOBS='%s' is not a non-negative integer "
+                  "within [0, %u]",
+                  jobs_env, UINT_MAX);
         cfg.jobs = static_cast<std::uint32_t>(v);
     }
     cfg.verbose = envU64("UBIK_VERBOSE", 0) != 0;
     if (const char *dir = std::getenv("UBIK_CACHE_DIR"))
         cfg.cacheDir = dir;
+    cfg.fleet = envU64("UBIK_FLEET", 0) != 0;
+    if (const char *w = std::getenv("UBIK_WORKER_ID"))
+        cfg.workerId = w;
+    cfg.leaseTtlSec = envDouble("UBIK_LEASE_TTL", 60.0);
+    if (cfg.leaseTtlSec <= 0)
+        fatal("UBIK_LEASE_TTL must be > 0 seconds (got %f)",
+              cfg.leaseTtlSec);
+    if (const char *shard = std::getenv("UBIK_SHARD"))
+        if (*shard)
+            cfg.applyShardSpec("UBIK_SHARD", shard);
     return cfg;
+}
+
+void
+ExperimentConfig::applyShardSpec(const char *what,
+                                 const std::string &spec)
+{
+    auto slash = spec.find('/');
+    std::uint64_t idx = 0, cnt = 0;
+    if (slash == std::string::npos ||
+        !parseU64Strict(spec.substr(0, slash).c_str(), 0xFFFFFFFFull,
+                        idx) ||
+        !parseU64Strict(spec.substr(slash + 1).c_str(), 0xFFFFFFFFull,
+                        cnt) ||
+        cnt == 0 || idx >= cnt)
+        fatal("%s='%s' is not a shard spec i/n with 0 <= i < n "
+              "(e.g. 0/4)",
+              what, spec.c_str());
+    shardIndex = static_cast<std::uint32_t>(idx);
+    shardCount = static_cast<std::uint32_t>(cnt);
 }
 
 unsigned

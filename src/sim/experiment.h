@@ -21,6 +21,16 @@
  *   UBIK_CSV_DIR  directory for per-run CSV exports (sweep benches)
  *   UBIK_CACHE_DIR persistent result cache directory (unset = no
  *                 caching; see sim/result_cache.h)
+ *   UBIK_FLEET    1 = cooperate with other processes sharing
+ *                 UBIK_CACHE_DIR via work-claiming leases (see
+ *                 sim/sweep_executor.h); requires a cache dir
+ *   UBIK_WORKER_ID fleet worker identity (default: host + pid)
+ *   UBIK_LEASE_TTL fleet claim lease TTL, seconds (default 60); a
+ *                 worker silent this long is presumed dead and its
+ *                 claimed work reclaimed
+ *   UBIK_SHARD    "i/n": run only every n-th selected mix, offset i
+ *                 (splits one matrix across CI jobs; results land
+ *                 under the same cache keys as the unsharded sweep)
  */
 
 #pragma once
@@ -52,6 +62,28 @@ struct ExperimentConfig
      *  caching disabled). Never part of a result's cache key. */
     std::string cacheDir;
 
+    /** Fleet mode: cooperate with other processes sharing `cacheDir`
+     *  through work-claiming lease records (sim/claim_store.h).
+     *  Requires a cache dir; results stay bit-identical to a
+     *  single-process run. */
+    bool fleet = false;
+
+    /** Fleet worker identity (empty = derive from host + pid). Only
+     *  used for lease ownership/debugging; never part of any key. */
+    std::string workerId;
+
+    /** Fleet claim lease TTL, seconds: how long a worker may go
+     *  silent before its claims are presumed orphaned and reclaimed
+     *  by a peer. */
+    double leaseTtlSec = 60.0;
+
+    /** Mix sharding: of the selected mixes, run only those with
+     *  index % shardCount == shardIndex (0/1 = all). Pure selection —
+     *  cache keys are unchanged, so n shards with a shared (or later
+     *  merged) cache fill the same matrix one process would. */
+    std::uint32_t shardIndex = 0;
+    std::uint32_t shardCount = 1;
+
     /** `jobs` with 0 resolved to the actual core count. */
     unsigned effectiveJobs() const;
 
@@ -69,6 +101,13 @@ struct ExperimentConfig
 
     /** Build from environment variables (see file comment). */
     static ExperimentConfig fromEnv();
+
+    /**
+     * Parse an "i/n" shard spec (e.g. "0/4") into
+     * shardIndex/shardCount; fatal (naming `what`: the flag or env
+     * var the text came from) on malformed input or i >= n.
+     */
+    void applyShardSpec(const char *what, const std::string &spec);
 
     /** Base CmpConfig with the machine parameters filled in. */
     CmpConfig baseCmpConfig(bool out_of_order = true) const;

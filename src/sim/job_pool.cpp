@@ -1,8 +1,10 @@
 #include "sim/job_pool.h"
 
+#include <climits>
 #include <cstdlib>
 
 #include "common/log.h"
+#include "common/parse_num.h"
 
 namespace ubik {
 
@@ -13,12 +15,14 @@ JobPool::resolveWorkers(unsigned requested)
         return requested;
     const char *env = std::getenv("UBIK_JOBS");
     if (env && *env) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
+        // Strict whole-string parse: "4x" must not run 4 workers and
+        // 2^32+1 must not truncate to 1. 0 means "all cores"; invalid
+        // input falls through silently — ExperimentConfig::fromEnv is
+        // the place that rejects it (callers may resolve several
+        // times per run).
+        std::uint64_t v = 0;
+        if (parseU64Strict(env, UINT_MAX, v) && v > 0)
             return static_cast<unsigned>(v);
-        // 0 means "all cores"; invalid input falls through silently —
-        // ExperimentConfig::fromEnv is the place that warns (callers
-        // may resolve several times per run).
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;

@@ -1,14 +1,12 @@
 #include "sim/parallel_sweep.h"
 
-#include "sim/result_cache.h"
-
-#include <atomic>
 #include <chrono>
-#include <map>
-#include <set>
-#include <string>
-#include <tuple>
+#include <mutex>
 #include <utility>
+
+#include "common/log.h"
+#include "sim/result_cache.h"
+#include "sim/sweep_executor.h"
 
 namespace ubik {
 
@@ -18,51 +16,16 @@ ParallelSweep::ParallelSweep(MixRunner &runner, unsigned workers)
 }
 
 void
+ParallelSweep::enableFleet(const FleetOptions &opt)
+{
+    fleet_ = true;
+    fleetOpt_ = opt;
+}
+
+void
 ParallelSweep::prewarmBaselines(const std::vector<SweepJob> &jobs)
 {
-    // Deduplicate by the exact cache keys the mix phase will request
-    // (MixRunner::lcKey/batchKey, so the dedup cannot drift from the
-    // cache); values are what lcBaseline / batchAloneIpc need to
-    // recompute them.
-    struct LcKey
-    {
-        LcAppParams params;
-        double load;
-        std::uint64_t seed;
-    };
-    struct BatchKey
-    {
-        BatchAppParams params;
-        std::uint64_t seed;
-    };
-    std::map<std::string, LcKey> lcKeys;
-    std::map<std::string, BatchKey> batchKeys;
-    for (const auto &job : jobs) {
-        lcKeys.emplace(
-            runner_.lcKey(job.mix.lc.app, job.mix.lc.load, job.seed),
-            LcKey{job.mix.lc.app, job.mix.lc.load, job.seed});
-        for (const auto &b : job.mix.batch.apps)
-            batchKeys.emplace(runner_.batchKey(b, job.seed),
-                              BatchKey{b, job.seed});
-    }
-
-    std::vector<LcKey> lc;
-    for (auto &kv : lcKeys)
-        lc.push_back(std::move(kv.second));
-    std::vector<BatchKey> batch;
-    for (auto &kv : batchKeys)
-        batch.push_back(std::move(kv.second));
-
-    // One parallel phase over all baselines; LC baselines are the
-    // expensive ones (two calibration runs each), so schedule them
-    // first.
-    pool_.run(lc.size() + batch.size(), [&](std::size_t i) {
-        if (i < lc.size())
-            runner_.lcBaseline(lc[i].params, lc[i].load, lc[i].seed);
-        else
-            runner_.batchAloneIpc(batch[i - lc.size()].params,
-                                  batch[i - lc.size()].seed);
-    });
+    prewarmSweepBaselines(runner_, pool_, jobs);
 }
 
 std::vector<MixRunResult>
@@ -79,12 +42,15 @@ ParallelSweep::run(
             .count();
     };
 
+    if (fleet_ && !cache_)
+        fatal("fleet sweep needs a result cache: pass --cache-dir (or "
+              "UBIK_CACHE_DIR) alongside --fleet");
+
     // Lookup-before-submit: hits fill their result slots directly and
-    // drop out of the sweep; only misses are simulated (and their
+    // drop out of the sweep; only misses are executed (and their
     // baselines prewarmed), so a fully warm run performs zero mix
     // recomputation.
-    std::vector<std::size_t> missIdx;
-    std::vector<std::string> missKey;
+    std::vector<SweepWorkItem> items;
     std::size_t hits = 0;
     if (cache_) {
         for (std::size_t i = 0; i < jobs.size(); i++) {
@@ -95,37 +61,43 @@ ParallelSweep::run(
                 results[i] = std::move(*cached);
                 hits++;
             } else {
-                missIdx.push_back(i);
-                missKey.push_back(std::move(key));
+                items.push_back(
+                    SweepWorkItem{i, jobs[i], std::move(key)});
             }
         }
         if (on_done && hits > 0)
-            on_done({hits, jobs.size(), hits, 0, elapsed()});
+            on_done({hits, jobs.size(), hits, 0, 0, elapsed()});
     } else {
-        missIdx.resize(jobs.size());
         for (std::size_t i = 0; i < jobs.size(); i++)
-            missIdx[i] = i;
+            items.push_back(SweepWorkItem{i, jobs[i], std::string()});
     }
-    if (missIdx.empty())
+    if (items.empty())
         return results;
 
-    std::vector<SweepJob> missJobs;
-    missJobs.reserve(missIdx.size());
-    for (std::size_t i : missIdx)
-        missJobs.push_back(jobs[i]);
-    prewarmBaselines(missJobs);
-
-    std::atomic<std::size_t> computed{0};
-    pool_.run(missIdx.size(), [&](std::size_t k) {
-        std::size_t i = missIdx[k];
-        results[i] =
-            runner_.runMix(jobs[i].mix, jobs[i].sut, jobs[i].seed);
-        if (cache_)
-            cache_->storeMix(missKey[k], results[i]);
-        std::size_t c = computed.fetch_add(1) + 1;
+    // Serialized progress delivery: executors notify from worker
+    // threads, the mutex makes deliveries atomic and `done` strictly
+    // monotonic, so stateful callbacks need no locking of their own.
+    std::mutex progressMu;
+    std::size_t computed = 0;
+    std::size_t remote = 0;
+    auto notify = [&](SweepFill fill) {
+        std::lock_guard<std::mutex> lock(progressMu);
+        if (fill == SweepFill::Remote)
+            remote++;
+        else
+            computed++;
         if (on_done)
-            on_done({hits + c, jobs.size(), hits, c, elapsed()});
-    });
+            on_done({hits + computed + remote, jobs.size(), hits,
+                     computed, remote, elapsed()});
+    };
+
+    if (fleet_) {
+        FleetExecutor exec(runner_, pool_, *cache_, fleetOpt_);
+        exec.execute(items, results, notify);
+    } else {
+        JobPoolExecutor exec(runner_, pool_, cache_);
+        exec.execute(items, results, notify);
+    }
     return results;
 }
 

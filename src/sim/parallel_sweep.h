@@ -17,6 +17,11 @@
  * Worker count comes from the UBIK_JOBS environment variable (default
  * all cores; 1 recovers the legacy sequential path on the calling
  * thread).
+ *
+ * Execution is delegated to a SweepExecutor (sim/sweep_executor.h):
+ * the in-process JobPool path by default, or — via enableFleet — a
+ * work-claiming executor that lets N independent processes sharing
+ * one cache directory cooperatively fill a single sweep matrix.
  */
 
 #pragma once
@@ -44,18 +49,40 @@ struct SweepJob
 /** Sweep progress snapshot handed to the run() callback. */
 struct SweepProgress
 {
-    std::size_t done = 0;  ///< jobs finished so far (hits + computed)
+    /** Jobs finished so far (hits + computed + remote). */
+    std::size_t done = 0;
     std::size_t total = 0; ///< jobs in the sweep
 
-    /** Of `done`: served from the persistent result cache. */
+    /** Of `done`: served from the persistent result cache up front. */
     std::size_t hits = 0;
 
     /** Of `done`: actually simulated this run. */
     std::size_t computed = 0;
 
+    /** Of `done`: published mid-sweep by a fleet peer sharing the
+     *  cache directory (always 0 outside fleet mode). */
+    std::size_t remote = 0;
+
     /** Wall-clock seconds since run() started (prewarm included);
      *  purely informational — never part of any result. */
     double elapsedSec = 0;
+};
+
+/** Fleet-mode knobs (ParallelSweep::enableFleet). */
+struct FleetOptions
+{
+    /** Lease owner identity; empty defers to ClaimStore::defaultOwner
+     *  (host + pid). Distinct per cooperating process. */
+    std::string workerId;
+
+    /** Lease age beyond which a worker is presumed dead and its
+     *  in-flight items are reclaimed by peers. */
+    double leaseTtlSec = 60.0;
+
+    /** Poll backoff while peers hold the remaining leases: starts at
+     *  pollSec, doubles to pollMaxSec while nothing changes. */
+    double pollSec = 0.05;
+    double pollMaxSec = 1.0;
 };
 
 /** Executes SweepJob batches through a shared MixRunner. */
@@ -81,13 +108,23 @@ class ParallelSweep
     void attachCache(ResultCache *cache) { cache_ = cache; }
 
     /**
+     * Fleet mode: execute cache misses through the work-claiming
+     * FleetExecutor (sim/sweep_executor.h) so N processes sharing the
+     * attached cache directory partition one sweep between them.
+     * Requires an attached cache (run() fatals otherwise); put the
+     * cache in durable mode so "claim released" implies "result on
+     * disk". Results stay bit-identical to the single-process path.
+     */
+    void enableFleet(const FleetOptions &opt);
+
+    /**
      * Run every job and return results in job order. Results are
-     * bit-identical across worker counts and across cache states
-     * (cold, warm, or mixed). If `on_done` is set it is called once
-     * after the cache-hit scan (when any job hit) and then after each
-     * computed job; calls come from worker threads, possibly
-     * concurrently, so the callback must be thread-safe (a bare
-     * fprintf is).
+     * bit-identical across worker counts, across cache states (cold,
+     * warm, or mixed), and across fleet sizes. If `on_done` is set it
+     * is called once after the cache-hit scan (when any job hit) and
+     * then once per filled job; deliveries are serialized under a
+     * mutex with monotonically increasing `done`, so a stateful
+     * callback needs no locking of its own.
      */
     std::vector<MixRunResult>
     run(const std::vector<SweepJob> &jobs,
@@ -109,6 +146,8 @@ class ParallelSweep
     MixRunner &runner_;
     JobPool pool_;
     ResultCache *cache_ = nullptr; ///< optional persistent store
+    bool fleet_ = false;
+    FleetOptions fleetOpt_;
 };
 
 /**

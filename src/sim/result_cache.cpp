@@ -1,5 +1,7 @@
 #include "sim/result_cache.h"
 
+#include <unistd.h>
+
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -9,6 +11,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "sim/claim_store.h"
 
 namespace ubik {
 
@@ -423,6 +426,15 @@ struct ResultCache::Shard
 {
     std::mutex mu;
     bool loaded = false;
+    /** Bytes of the shard file already parsed: refresh resumes here,
+     *  so picking up records appended by cooperating processes costs
+     *  one seek, not a rescan. An unterminated (torn) tail is never
+     *  consumed — a writer may still be mid-append — so it is
+     *  re-examined on the next refresh. */
+    std::uint64_t parsedBytes = 0;
+    /** Offset of the torn tail already counted as corrupt, so a
+     *  permanently-dead tail is counted once, not once per poll. */
+    std::uint64_t tornCountedAt = ~0ull;
     /** (kind + key) -> payload. */
     std::map<std::string, std::string> entries;
 };
@@ -465,45 +477,83 @@ ResultCache::shardPath(std::size_t idx) const
 }
 
 void
-ResultCache::loadShardLocked(Shard &s, std::size_t idx)
+ResultCache::refreshShardLocked(Shard &s, std::size_t idx)
 {
     s.loaded = true;
-    std::ifstream in(shardPath(idx));
+    std::ifstream in(shardPath(idx), std::ios::binary);
     if (!in.is_open())
         return; // nothing persisted yet
-    std::string line;
-    while (std::getline(in, line)) {
-        if (line.empty())
-            continue;
+    in.seekg(static_cast<std::streamoff>(s.parsedBytes));
+    if (!in)
+        return;
+    std::string buf((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+
+    enum class Rec { Valid, Evicted, Bad };
+    auto classify = [&](const std::string &line) -> Rec {
         std::vector<std::string> tok = splitOn(line, ' ');
         // U1 <schema> <kind> <key> <payload> <crc>
         if (tok.size() != 6 || tok[0] != kRecordMagic ||
-            tok[2].size() != 1) {
-            corrupt_.fetch_add(1, std::memory_order_relaxed);
-            continue;
-        }
+            tok[2].size() != 1)
+            return Rec::Bad;
         std::string key, payload;
         std::uint64_t crc;
         if (!unescapeToken(tok[3], key) ||
             !unescapeToken(tok[4], payload) ||
             !parseHex64(tok[5], crc) ||
-            crc != fnv1a64(checksumInput(tok[2][0], key, payload))) {
-            corrupt_.fetch_add(1, std::memory_order_relaxed);
-            continue;
-        }
+            crc != fnv1a64(checksumInput(tok[2][0], key, payload)))
+            return Rec::Bad;
         char *end = nullptr;
         std::uint64_t schema = std::strtoull(tok[1].c_str(), &end, 10);
-        if (end == tok[1].c_str() || *end) {
-            corrupt_.fetch_add(1, std::memory_order_relaxed);
-            continue;
-        }
-        if (schema != kResultCacheSchemaVersion) {
-            evicted_.fetch_add(1, std::memory_order_relaxed);
-            continue;
-        }
+        if (end == tok[1].c_str() || *end)
+            return Rec::Bad;
+        if (schema != kResultCacheSchemaVersion)
+            return Rec::Evicted;
         // First record wins; duplicates from racing appends carry the
         // same deterministic value anyway.
         s.entries.emplace(tok[2] + key, std::move(payload));
+        return Rec::Valid;
+    };
+
+    const std::uint64_t base = s.parsedBytes;
+    std::size_t start = 0;
+    while (start < buf.size()) {
+        std::size_t nl = buf.find('\n', start);
+        bool terminated = nl != std::string::npos;
+        std::size_t len = (terminated ? nl : buf.size()) - start;
+        std::string line = buf.substr(start, len);
+        std::uint64_t off = base + start;
+        if (terminated) {
+            Rec r = line.empty() ? Rec::Valid : classify(line);
+            if (r == Rec::Bad && off != s.tornCountedAt)
+                corrupt_.fetch_add(1, std::memory_order_relaxed);
+            else if (r == Rec::Evicted)
+                evicted_.fetch_add(1, std::memory_order_relaxed);
+            if (off == s.tornCountedAt)
+                s.tornCountedAt = ~0ull; // the torn tail completed
+            s.parsedBytes = base + nl + 1;
+            start = nl + 1;
+            continue;
+        }
+        // Unterminated tail: a writer may be mid-append.
+        Rec r = classify(line);
+        if (r == Rec::Bad) {
+            // Leave it unconsumed so the next refresh re-examines it
+            // once it completes; count it corrupt only once (it may
+            // be a crashed writer's permanent stump, re-seen by every
+            // poll until the next store's newline repair).
+            if (off != s.tornCountedAt) {
+                corrupt_.fetch_add(1, std::memory_order_relaxed);
+                s.tornCountedAt = off;
+            }
+        } else {
+            // Checksum-complete record that only lacks its trailing
+            // newline: consume it.
+            if (r == Rec::Evicted)
+                evicted_.fetch_add(1, std::memory_order_relaxed);
+            s.parsedBytes = base + buf.size();
+        }
+        break;
     }
 }
 
@@ -516,7 +566,7 @@ ResultCache::load(char kind, const std::string &key)
     {
         std::lock_guard<std::mutex> lock(s.mu);
         if (!s.loaded)
-            loadShardLocked(s, idx);
+            refreshShardLocked(s, idx);
         auto it = s.entries.find(std::string(1, kind) + key);
         if (it != s.entries.end())
             out = it->second;
@@ -533,6 +583,32 @@ ResultCache::load(char kind, const std::string &key)
     return out;
 }
 
+std::optional<std::string>
+ResultCache::peek(char kind, const std::string &key, bool count_hit)
+{
+    std::size_t idx = shardOf(key);
+    Shard &s = shards_[idx];
+    std::optional<std::string> out;
+    {
+        std::lock_guard<std::mutex> lock(s.mu);
+        // Unconditional refresh: the point of a peek is seeing what
+        // cooperating processes appended since the shard was loaded.
+        refreshShardLocked(s, idx);
+        auto it = s.entries.find(std::string(1, kind) + key);
+        if (it != s.entries.end())
+            out = it->second;
+    }
+    // Never a miss: a fleet worker may peek the same key many times
+    // while a peer computes it, and that polling is not recomputation
+    // (the "0 misses" warm-sweep invariant must survive fleet mode).
+    if (out && count_hit) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (kind == kKindMix)
+            mixHits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return out;
+}
+
 void
 ResultCache::store(char kind, const std::string &key,
                    const std::string &payload)
@@ -540,8 +616,10 @@ ResultCache::store(char kind, const std::string &key,
     std::size_t idx = shardOf(key);
     Shard &s = shards_[idx];
     std::lock_guard<std::mutex> lock(s.mu);
-    if (!s.loaded)
-        loadShardLocked(s, idx);
+    // Full refresh (not just first-load): a cooperating process may
+    // have appended this very record since we last looked, and
+    // skipping the duplicate append keeps shard files minimal.
+    refreshShardLocked(s, idx);
     std::string mapKey = std::string(1, kind) + key;
     auto it = s.entries.find(mapKey);
     if (it != s.entries.end() && it->second == payload)
@@ -567,6 +645,13 @@ ResultCache::store(char kind, const std::string &key,
         // above and the write (C11 7.21.5.3p7).
         std::fseek(f, 0, SEEK_END);
         std::fwrite(line.data(), 1, line.size(), f);
+        if (durable_) {
+            // Fleet mode: the claim protocol treats "lease released"
+            // as "result survives a crash", so the record must be on
+            // disk before the caller drops its lease.
+            std::fflush(f);
+            ::fsync(fileno(f));
+        }
         std::fclose(f);
     } else {
         warn("result cache: cannot append to %s",
@@ -594,6 +679,38 @@ void
 ResultCache::storeMix(const std::string &key, const MixRunResult &res)
 {
     store(kKindMix, key, serializeMix(res));
+}
+
+std::optional<MixRunResult>
+ResultCache::peekMix(const std::string &key)
+{
+    std::optional<std::string> payload = peek(kKindMix, key, true);
+    if (!payload)
+        return std::nullopt;
+    MixRunResult r;
+    if (!parseMix(*payload, r)) {
+        corrupt_.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    return r;
+}
+
+bool
+ResultCache::hasLcBaseline(const std::string &key)
+{
+    return peek(kKindLc, key, false).has_value();
+}
+
+bool
+ResultCache::hasBatchIpc(const std::string &key)
+{
+    return peek(kKindBatch, key, false).has_value();
+}
+
+void
+ResultCache::noteClaimsGced(std::uint64_t n)
+{
+    claimsGced_.fetch_add(n, std::memory_order_relaxed);
 }
 
 std::optional<LcBaseline>
@@ -648,6 +765,17 @@ ResultCache::stats() const
     st.mixMisses = mixMisses_.load(std::memory_order_relaxed);
     st.evicted = evicted_.load(std::memory_order_relaxed);
     st.corrupt = corrupt_.load(std::memory_order_relaxed);
+    st.claimsGced = claimsGced_.load(std::memory_order_relaxed);
+    std::error_code ec;
+    std::filesystem::directory_iterator it(
+        dir_ + "/" + ClaimStore::kSubdir, ec),
+        end;
+    for (; !ec && it != end; it.increment(ec)) {
+        std::string p = it->path().string();
+        if (p.size() >= 6 &&
+            p.compare(p.size() - 6, 6, ".lease") == 0)
+            st.claimsLive++;
+    }
     return st;
 }
 

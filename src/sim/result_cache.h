@@ -25,7 +25,10 @@
  * write, so the worst interleaving is a duplicate or torn record.
  * Torn/garbage records fail their checksum and are treated as misses
  * (counted, skipped, and rewritten on the next store) — a corrupt
- * shard can cost recomputation but never poisons a result.
+ * shard can cost recomputation but never poisons a result. Shards
+ * are parsed incrementally from a per-shard byte offset, so peekMix
+ * (the fleet executor's poll primitive) and store() pick up records
+ * appended by cooperating processes without rescanning the file.
  *
  * Determinism contract: values round-trip bit-exactly (doubles are
  * stored as their 64-bit patterns), so a warm-cache sweep is
@@ -78,6 +81,16 @@ struct CacheStats
 
     /** Records dropped on load: truncated or failed checksum. */
     std::uint64_t corrupt = 0;
+
+    /** Fleet claim records (sim/claim_store.h) currently present in
+     *  the cache dir's claims/ subdirectory, sampled at stats()
+     *  time: in-flight work during a fleet sweep, orphans after a
+     *  crash. */
+    std::uint64_t claimsLive = 0;
+
+    /** Orphaned (expired) claim records reclaimed through this
+     *  cache's accounting (ResultCache::noteClaimsGced). */
+    std::uint64_t claimsGced = 0;
 };
 
 /**
@@ -134,6 +147,34 @@ class ResultCache
     std::optional<double> loadBatchIpc(const std::string &key);
     void storeBatchIpc(const std::string &key, double ipc);
 
+    /**
+     * Like loadMix, but re-reads the key's shard file incrementally
+     * first, so records appended by cooperating processes since the
+     * shard was loaded become visible. Poll-friendly stats: counts a
+     * hit on success and never counts a miss (a fleet worker may
+     * peek the same key many times while a peer computes it).
+     */
+    std::optional<MixRunResult> peekMix(const std::string &key);
+
+    /** Fresh-view presence probes for baselines (same refresh as
+     *  peekMix). Count nothing: the caller's subsequent
+     *  loadLcBaseline/loadBatchIpc does the counting. */
+    bool hasLcBaseline(const std::string &key);
+    bool hasBatchIpc(const std::string &key);
+
+    /**
+     * Durable mode: fsync every appended record before store()
+     * returns. The fleet protocol releases a work claim only after
+     * the result is stored, so with durability on, "claim released"
+     * implies "result survives a crash" — a peer never has to
+     * re-verify. Set before concurrent use (not thread-safe itself).
+     */
+    void setDurable(bool on) { durable_ = on; }
+
+    /** Fold claim-record GC work (sim/claim_store.h) into this
+     *  cache's stats. */
+    void noteClaimsGced(std::uint64_t n);
+
     CacheStats stats() const;
 
     const std::string &dir() const { return dir_; }
@@ -145,13 +186,16 @@ class ResultCache
     struct Shard;
 
     std::optional<std::string> load(char kind, const std::string &key);
+    std::optional<std::string> peek(char kind, const std::string &key,
+                                    bool count_hit);
     void store(char kind, const std::string &key,
                const std::string &payload);
-    void loadShardLocked(Shard &s, std::size_t idx);
+    void refreshShardLocked(Shard &s, std::size_t idx);
     std::string shardPath(std::size_t idx) const;
 
     std::string dir_;
     std::unique_ptr<Shard[]> shards_;
+    bool durable_ = false; ///< fsync records before store() returns
 
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
@@ -160,6 +204,7 @@ class ResultCache
     std::atomic<std::uint64_t> mixMisses_{0};
     std::atomic<std::uint64_t> evicted_{0};
     std::atomic<std::uint64_t> corrupt_{0};
+    std::atomic<std::uint64_t> claimsGced_{0};
 };
 
 } // namespace ubik

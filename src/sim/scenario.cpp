@@ -7,6 +7,7 @@
 #include <map>
 
 #include "common/log.h"
+#include "sim/claim_store.h"
 #include "sim/kind_names.h"
 #include "sim/parallel_sweep.h"
 #include "sim/result_cache.h"
@@ -728,6 +729,21 @@ buildScenarioMixes(const ScenarioSpec &spec,
     // MixRunner into the Cmp arrival pump and the cache keys).
     for (MixSpec &m : selected)
         m.lc.profile = spec.profile;
+    // Static sharding (UBIK_SHARD=i/n): keep every n-th mix. A pure
+    // selection — cache keys are untouched — so shards filled by
+    // separate CI jobs merge into one coherent cache, and any job can
+    // later serve the full matrix from it.
+    if (cfg.shardCount > 1) {
+        std::vector<MixSpec> mine;
+        for (std::size_t i = 0; i < selected.size(); i++)
+            if (i % cfg.shardCount == cfg.shardIndex)
+                mine.push_back(std::move(selected[i]));
+        std::fprintf(stderr,
+                     "  [shard] %u/%u: %zu of %zu mixes selected\n",
+                     cfg.shardIndex, cfg.shardCount, mine.size(),
+                     selected.size());
+        selected = std::move(mine);
+    }
     return selected;
 }
 
@@ -741,20 +757,45 @@ runSchemeSweep(const ExperimentConfig &cfg,
     runner.attachCache(cache.get());
     ParallelSweep engine(runner, cfg.jobs);
     engine.attachCache(cache.get());
+    std::string worker = cfg.workerId;
+    if (cfg.fleet) {
+        if (!cache)
+            fatal("--fleet needs a shared cache: pass --cache-dir "
+                  "(or UBIK_CACHE_DIR)");
+        // Claim release must imply "result on disk" for peers (and
+        // for crash recovery), so records are fsync'd before release.
+        cache->setDurable(true);
+        if (worker.empty())
+            worker = ClaimStore::defaultOwner();
+        FleetOptions opt;
+        opt.workerId = worker;
+        opt.leaseTtlSec = cfg.leaseTtlSec;
+        engine.enableFleet(opt);
+    }
     std::vector<SweepJob> jobs =
         buildSweepJobs(schemes, mixes, cfg.seeds);
     // Live progress from inside the engine (the per-scheme summary
     // lines below only appear once the whole sweep is done).
     std::size_t step = std::max<std::size_t>(1, jobs.size() / 20);
+    SweepProgress last;
     std::vector<MixRunResult> results =
         engine.run(jobs, [&](const SweepProgress &p) {
+            last = p;
             if (p.done % step == 0 || p.done == p.total)
                 std::fprintf(stderr,
                              "  [sweep] %zu/%zu runs done "
-                             "(%zu cached, %zu computed, %.1fs)\n",
+                             "(%zu cached, %zu computed, %zu remote, "
+                             "%.1fs)\n",
                              p.done, p.total, p.hits, p.computed,
-                             p.elapsedSec);
+                             p.remote, p.elapsedSec);
         });
+    // Machine-greppable per-process accounting: CI sums `computed=`
+    // across fleet workers to prove zero duplicate computation.
+    std::fprintf(stderr,
+                 "  [sweep-summary] worker=%s jobs=%zu hits=%zu "
+                 "computed=%zu remote=%zu\n",
+                 worker.empty() ? "local" : worker.c_str(),
+                 jobs.size(), last.hits, last.computed, last.remote);
     if (cache)
         printCacheStats(*cache);
 

@@ -1,0 +1,255 @@
+#include "sim/sweep_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <numeric>
+#include <thread>
+
+#include "sim/result_cache.h"
+
+namespace ubik {
+
+namespace {
+
+/** Deduplicated baseline descriptors for a set of sweep jobs, keyed
+ *  so the dedup cannot drift from what the mix phase will request. */
+struct LcDesc
+{
+    LcAppParams params;
+    double load = 0;
+    std::uint64_t seed = 1;
+};
+
+struct BatchDesc
+{
+    BatchAppParams params;
+    std::uint64_t seed = 1;
+};
+
+void
+collectBaselines(MixRunner &runner, const std::vector<SweepJob> &jobs,
+                 std::map<std::string, LcDesc> &lc,
+                 std::map<std::string, BatchDesc> &batch)
+{
+    for (const auto &job : jobs) {
+        lc.emplace(
+            runner.lcKey(job.mix.lc.app, job.mix.lc.load, job.seed),
+            LcDesc{job.mix.lc.app, job.mix.lc.load, job.seed});
+        for (const auto &b : job.mix.batch.apps)
+            batch.emplace(runner.batchKey(b, job.seed),
+                          BatchDesc{b, job.seed});
+    }
+}
+
+} // namespace
+
+void
+prewarmSweepBaselines(MixRunner &runner, JobPool &pool,
+                      const std::vector<SweepJob> &jobs)
+{
+    std::map<std::string, LcDesc> lcKeys;
+    std::map<std::string, BatchDesc> batchKeys;
+    collectBaselines(runner, jobs, lcKeys, batchKeys);
+
+    std::vector<LcDesc> lc;
+    for (auto &kv : lcKeys)
+        lc.push_back(std::move(kv.second));
+    std::vector<BatchDesc> batch;
+    for (auto &kv : batchKeys)
+        batch.push_back(std::move(kv.second));
+
+    // One parallel phase over all baselines; LC baselines are the
+    // expensive ones (two calibration runs each), so schedule them
+    // first.
+    pool.run(lc.size() + batch.size(), [&](std::size_t i) {
+        if (i < lc.size())
+            runner.lcBaseline(lc[i].params, lc[i].load, lc[i].seed);
+        else
+            runner.batchAloneIpc(batch[i - lc.size()].params,
+                                 batch[i - lc.size()].seed);
+    });
+}
+
+void
+JobPoolExecutor::execute(const std::vector<SweepWorkItem> &items,
+                         std::vector<MixRunResult> &results,
+                         const std::function<void(SweepFill)> &notify)
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(items.size());
+    for (const auto &it : items)
+        jobs.push_back(it.job);
+    prewarmSweepBaselines(runner_, pool_, jobs);
+
+    pool_.run(items.size(), [&](std::size_t k) {
+        const SweepWorkItem &it = items[k];
+        results[it.slot] =
+            runner_.runMix(it.job.mix, it.job.sut, it.job.seed);
+        if (cache_)
+            cache_->storeMix(it.key, results[it.slot]);
+        notify(SweepFill::Computed);
+    });
+}
+
+FleetExecutor::FleetExecutor(MixRunner &runner, JobPool &pool,
+                             ResultCache &cache,
+                             const FleetOptions &opt)
+    : runner_(runner), pool_(pool), cache_(cache), opt_(opt),
+      claims_(cache.dir(),
+              opt.workerId.empty() ? ClaimStore::defaultOwner()
+                                   : opt.workerId,
+              opt.leaseTtlSec)
+{
+}
+
+void
+FleetExecutor::runClaimLoop(std::vector<ClaimTask> &tasks)
+{
+    std::vector<std::size_t> pending(tasks.size());
+    std::iota(pending.begin(), pending.end(), std::size_t{0});
+    double backoff = opt_.pollSec;
+    while (!pending.empty()) {
+        std::vector<char> finished(pending.size(), 0);
+        pool_.run(pending.size(), [&](std::size_t k) {
+            ClaimTask &t = tasks[pending[k]];
+            if (t.poll()) {
+                finished[k] = 1;
+                return;
+            }
+            if (!claims_.tryAcquire(t.key))
+                return; // a peer owns it; revisit next round
+            // Re-poll under the lease: the previous owner may have
+            // published and released between our poll and acquire —
+            // without this, that window is a duplicate computation.
+            if (t.poll()) {
+                claims_.release(t.key);
+                finished[k] = 1;
+                return;
+            }
+            t.compute();
+            claims_.release(t.key);
+            finished[k] = 1;
+        });
+
+        std::vector<std::size_t> next;
+        for (std::size_t k = 0; k < pending.size(); k++)
+            if (!finished[k])
+                next.push_back(pending[k]);
+        bool moved = next.size() < pending.size();
+        pending.swap(next);
+        if (pending.empty())
+            break;
+
+        // Everything left is leased by a peer. Break leases whose
+        // owner stopped heartbeating; a broken (or vanished) lease is
+        // immediately claimable, so skip the wait.
+        bool claimable = false;
+        for (std::size_t i : pending)
+            claimable = claims_.breakStale(tasks[i].key) || claimable;
+        if (claimable)
+            continue;
+        if (moved)
+            backoff = opt_.pollSec;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(backoff));
+        backoff = std::min(backoff * 2.0, opt_.pollMaxSec);
+    }
+}
+
+void
+FleetExecutor::execute(const std::vector<SweepWorkItem> &items,
+                       std::vector<MixRunResult> &results,
+                       const std::function<void(SweepFill)> &notify)
+{
+    // Heartbeat thread: refresh every owned lease well inside the
+    // TTL, so a live worker never looks dead no matter how long one
+    // simulation takes.
+    std::mutex hbMu;
+    std::condition_variable hbCv;
+    bool hbStop = false;
+    const double hbPeriod = std::max(0.5, claims_.ttlSec() / 4.0);
+    std::thread hb([&] {
+        std::unique_lock<std::mutex> lock(hbMu);
+        while (!hbCv.wait_for(lock,
+                              std::chrono::duration<double>(hbPeriod),
+                              [&] { return hbStop; }))
+            claims_.heartbeatAll();
+    });
+
+    // Round 1: baselines, as leasable units of their own — otherwise
+    // every worker would recompute the full baseline set before its
+    // first mix. poll() is a presence probe against the shared cache;
+    // compute() publishes through the runner's attached cache.
+    std::vector<SweepJob> jobs;
+    jobs.reserve(items.size());
+    for (const auto &it : items)
+        jobs.push_back(it.job);
+    std::map<std::string, LcDesc> lcKeys;
+    std::map<std::string, BatchDesc> batchKeys;
+    collectBaselines(runner_, jobs, lcKeys, batchKeys);
+
+    std::vector<ClaimTask> tasks;
+    tasks.reserve(lcKeys.size() + batchKeys.size());
+    for (auto &kv : lcKeys) {
+        LcDesc d = kv.second;
+        std::string pkey =
+            lcBaselineKey(runner_.config(), d.params, d.load, d.seed,
+                          runner_.outOfOrder());
+        tasks.push_back(ClaimTask{
+            pkey,
+            [this, d] { runner_.lcBaseline(d.params, d.load, d.seed); },
+            [this, pkey] { return cache_.hasLcBaseline(pkey); }});
+    }
+    for (auto &kv : batchKeys) {
+        BatchDesc d = kv.second;
+        std::string pkey = batchBaselineKey(
+            runner_.config(), d.params, d.seed, runner_.outOfOrder());
+        tasks.push_back(ClaimTask{
+            pkey,
+            [this, d] { runner_.batchAloneIpc(d.params, d.seed); },
+            [this, pkey] { return cache_.hasBatchIpc(pkey); }});
+    }
+    runClaimLoop(tasks);
+
+    // Round 2: the mixes themselves. poll() fills the slot from a
+    // peer's published result; compute() simulates and publishes
+    // (storeMix fsyncs in durable mode, so release-after-store means
+    // the record survives any crash).
+    std::vector<ClaimTask> mixTasks;
+    mixTasks.reserve(items.size());
+    for (const SweepWorkItem &it : items) {
+        const SweepWorkItem *p = &it;
+        mixTasks.push_back(ClaimTask{
+            p->key,
+            [this, p, &results, &notify] {
+                results[p->slot] =
+                    runner_.runMix(p->job.mix, p->job.sut, p->job.seed);
+                cache_.storeMix(p->key, results[p->slot]);
+                notify(SweepFill::Computed);
+            },
+            [this, p, &results, &notify] {
+                auto r = cache_.peekMix(p->key);
+                if (!r)
+                    return false;
+                results[p->slot] = std::move(*r);
+                notify(SweepFill::Remote);
+                return true;
+            }});
+    }
+    runClaimLoop(mixTasks);
+
+    {
+        std::lock_guard<std::mutex> lock(hbMu);
+        hbStop = true;
+    }
+    hbCv.notify_all();
+    hb.join();
+
+    // Sweep-exit GC: reclaim expired leases crashed peers left behind
+    // (ours were all released above).
+    cache_.noteClaimsGced(claims_.gcStale());
+}
+
+} // namespace ubik

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sweep execution strategies behind one interface: ParallelSweep
+ * scans its cache, builds the list of missing (scheme, mix, seed)
+ * work items, and hands them to a SweepExecutor to fill.
+ *
+ *  - JobPoolExecutor: the classic in-process path — prewarm
+ *    baselines, then one JobPool task per item.
+ *  - FleetExecutor: the distributed path — N independent processes
+ *    sharing one cache directory partition the items between them by
+ *    leasing claim records (sim/claim_store.h). Every item is filled
+ *    either by computing it under an owned lease (publishing the
+ *    result to the shared cache before release) or by observing a
+ *    peer's published result. Results are pure functions of their
+ *    descriptors and round-trip bit-exactly, so the filled matrix is
+ *    identical to the single-process one at any fleet size, and a
+ *    worker killed mid-sweep costs at most its in-flight items (whose
+ *    leases expire and are reclaimed).
+ */
+
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/claim_store.h"
+#include "sim/parallel_sweep.h"
+
+namespace ubik {
+
+/** One unfilled sweep slot: the job, where its result goes, and its
+ *  canonical cache key (empty when no cache is attached). */
+struct SweepWorkItem
+{
+    std::size_t slot = 0; ///< index into the results vector
+    SweepJob job;
+    std::string key;
+};
+
+/** How a slot got filled, for progress accounting. */
+enum class SweepFill
+{
+    Computed, ///< simulated by this process
+    Remote,   ///< published to the shared cache by a fleet peer
+};
+
+/** Fills every work item's result slot. */
+class SweepExecutor
+{
+  public:
+    virtual ~SweepExecutor() = default;
+
+    /**
+     * Fill `results[item.slot]` for every item. `notify` is invoked
+     * exactly once per item, from any worker thread (the caller
+     * serializes progress on top of it).
+     */
+    virtual void
+    execute(const std::vector<SweepWorkItem> &items,
+            std::vector<MixRunResult> &results,
+            const std::function<void(SweepFill)> &notify) = 0;
+};
+
+/**
+ * Compute every LC and batch baseline `jobs` will need, in parallel,
+ * deduplicated by the exact cache keys the mix phase will request.
+ */
+void prewarmSweepBaselines(MixRunner &runner, JobPool &pool,
+                           const std::vector<SweepJob> &jobs);
+
+/** In-process execution on a JobPool (the classic path). */
+class JobPoolExecutor : public SweepExecutor
+{
+  public:
+    JobPoolExecutor(MixRunner &runner, JobPool &pool,
+                    ResultCache *cache)
+        : runner_(runner), pool_(pool), cache_(cache)
+    {
+    }
+
+    void execute(const std::vector<SweepWorkItem> &items,
+                 std::vector<MixRunResult> &results,
+                 const std::function<void(SweepFill)> &notify) override;
+
+  private:
+    MixRunner &runner_;
+    JobPool &pool_;
+    ResultCache *cache_; ///< may be null (uncached sweep)
+};
+
+/**
+ * Work-claiming execution over a shared cache directory.
+ *
+ * Two claim-loop rounds: baselines first (so no worker recomputes a
+ * baseline a peer already owns), then mixes. Each round repeatedly
+ * offers every unfilled item to the pool; a worker polls the shared
+ * cache, tries to lease the item, re-polls under the lease (the
+ * previous owner may have published between poll and claim), and only
+ * then computes. Leases of crashed peers are broken once they exceed
+ * the TTL. A heartbeat thread refreshes owned leases so a live worker
+ * never looks dead, however long one simulation takes.
+ */
+class FleetExecutor : public SweepExecutor
+{
+  public:
+    FleetExecutor(MixRunner &runner, JobPool &pool, ResultCache &cache,
+                  const FleetOptions &opt);
+
+    void execute(const std::vector<SweepWorkItem> &items,
+                 std::vector<MixRunResult> &results,
+                 const std::function<void(SweepFill)> &notify) override;
+
+    ClaimStore &claims() { return claims_; }
+
+  private:
+    /** One leasable unit of work: poll() returns true when the item
+     *  no longer needs computing (and performs any slot fill /
+     *  notification itself); compute() produces and publishes it. */
+    struct ClaimTask
+    {
+        std::string key;
+        std::function<void()> compute;
+        std::function<bool()> poll;
+    };
+
+    void runClaimLoop(std::vector<ClaimTask> &tasks);
+
+    MixRunner &runner_;
+    JobPool &pool_;
+    ResultCache &cache_;
+    FleetOptions opt_;
+    ClaimStore claims_;
+};
+
+} // namespace ubik

@@ -78,7 +78,7 @@ TEST(Cli, BoolFlagFormsWork)
     }
 }
 
-TEST(Cli, NegativeAndHexIntegers)
+TEST(Cli, IntegersParseInBaseTenOnly)
 {
     Cli cli("t", "test");
     auto &i = cli.flag("count", static_cast<std::int64_t>(0), "h");
@@ -86,11 +86,20 @@ TEST(Cli, NegativeAndHexIntegers)
     cli.parse(3, argv);
     EXPECT_EQ(i.value, -12);
 
+    // Leading zeros are decimal, not octal: `--seeds 010` means ten.
+    // (strtoll base 0 read it as octal 8 — the classic footgun.)
     Cli cli2("t", "test");
     auto &j = cli2.flag("count", static_cast<std::int64_t>(0), "h");
-    const char *argv2[] = {"t", "--count", "0x10"};
+    const char *argv2[] = {"t", "--count", "010"};
     cli2.parse(3, argv2);
-    EXPECT_EQ(j.value, 16);
+    EXPECT_EQ(j.value, 10);
+
+    // Hex is no longer silently accepted.
+    Cli cli3("t", "test");
+    cli3.flag("count", static_cast<std::int64_t>(0), "h");
+    const char *argv3[] = {"t", "--count", "0x10"};
+    EXPECT_EXIT(cli3.parse(3, argv3), testing::ExitedWithCode(1),
+                "not a base-10 integer");
 }
 
 TEST(Cli, UnknownFlagIsFatal)
@@ -118,7 +127,14 @@ TEST(Cli, BadNumbersAreFatal)
         cli.flag("count", static_cast<std::int64_t>(0), "h");
         const char *argv[] = {"t", "--count", "12abc"};
         EXPECT_EXIT(cli.parse(3, argv), testing::ExitedWithCode(1),
-                    "not an integer");
+                    "not a base-10 integer");
+    }
+    {
+        Cli cli("t", "test");
+        cli.flag("count", static_cast<std::int64_t>(0), "h");
+        const char *argv[] = {"t", "--count", "99999999999999999999"};
+        EXPECT_EXIT(cli.parse(3, argv), testing::ExitedWithCode(1),
+                    "out of range");
     }
     {
         Cli cli("t", "test");

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * ClaimStore protocol tests: exclusive acquisition under contention,
+ * release/re-acquire, stale-lease breaking (with mtime backdating as
+ * crash injection), and orphan GC.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "sim/claim_store.h"
+#include "support/cache_test_util.h"
+
+using namespace ubik;
+using namespace ubik::test;
+
+namespace {
+
+/** Backdate a lease's mtime so it reads as `age_sec` old — simulates
+ *  an owner that stopped heartbeating without waiting out a TTL. */
+void
+backdate(const std::string &path, double age_sec)
+{
+    namespace fs = std::filesystem;
+    fs::last_write_time(
+        path, fs::file_time_type::clock::now() -
+                  std::chrono::duration_cast<
+                      fs::file_time_type::duration>(
+                      std::chrono::duration<double>(age_sec)));
+}
+
+} // namespace
+
+TEST(ClaimStore, ExactlyOneContenderWinsEachKey)
+{
+    TempCacheDir dir("claims_race");
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 16;
+
+    // One store per thread: contenders are independent instances, as
+    // separate processes would be.
+    std::vector<std::unique_ptr<ClaimStore>> stores;
+    for (int t = 0; t < kThreads; t++)
+        stores.push_back(std::make_unique<ClaimStore>(
+            dir.path(), "w" + std::to_string(t), 60.0));
+
+    std::vector<std::atomic<int>> winners(kKeys);
+    for (auto &w : winners)
+        w = 0;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++)
+        threads.emplace_back([&, t] {
+            for (int k = 0; k < kKeys; k++)
+                if (stores[static_cast<std::size_t>(t)]->tryAcquire(
+                        "key" + std::to_string(k)))
+                    winners[static_cast<std::size_t>(k)].fetch_add(1);
+        });
+    for (auto &th : threads)
+        th.join();
+
+    for (int k = 0; k < kKeys; k++)
+        EXPECT_EQ(winners[static_cast<std::size_t>(k)].load(), 1)
+            << "key" << k;
+}
+
+TEST(ClaimStore, ReleaseMakesKeyClaimableAgain)
+{
+    TempCacheDir dir("claims_release");
+    ClaimStore a(dir.path(), "a", 60.0);
+    ClaimStore b(dir.path(), "b", 60.0);
+
+    ASSERT_TRUE(a.tryAcquire("job"));
+    EXPECT_FALSE(b.tryAcquire("job"));
+    EXPECT_EQ(a.held().size(), 1u);
+
+    a.release("job");
+    EXPECT_TRUE(a.held().empty());
+    EXPECT_TRUE(b.tryAcquire("job"));
+}
+
+TEST(ClaimStore, BreakStaleRespectsFreshLeases)
+{
+    TempCacheDir dir("claims_stale");
+    ClaimStore owner(dir.path(), "owner", 5.0);
+    ClaimStore peer(dir.path(), "peer", 5.0);
+
+    // Absent lease: claimable.
+    EXPECT_TRUE(peer.breakStale("job"));
+
+    ASSERT_TRUE(owner.tryAcquire("job"));
+    // Fresh lease: a live owner is protected.
+    EXPECT_FALSE(peer.breakStale("job"));
+    EXPECT_FALSE(peer.tryAcquire("job"));
+
+    // Heartbeats keep it fresh even when backdated in between.
+    backdate(owner.leasePath("job"), 60.0);
+    owner.heartbeatAll();
+    EXPECT_FALSE(peer.breakStale("job"));
+
+    // A dead owner (no heartbeat past the TTL) is reclaimed; exactly
+    // one break wins and the key becomes claimable.
+    backdate(owner.leasePath("job"), 60.0);
+    EXPECT_TRUE(peer.breakStale("job"));
+    EXPECT_TRUE(peer.tryAcquire("job"));
+}
+
+TEST(ClaimStore, ConcurrentBreakersAgreeLeaseIsGone)
+{
+    TempCacheDir dir("claims_break_race");
+    ClaimStore owner(dir.path(), "owner", 1.0);
+    ASSERT_TRUE(owner.tryAcquire("job"));
+    backdate(owner.leasePath("job"), 30.0);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> claimable{0};
+    std::vector<std::thread> threads;
+    std::vector<std::unique_ptr<ClaimStore>> peers;
+    for (int t = 0; t < kThreads; t++)
+        peers.push_back(std::make_unique<ClaimStore>(
+            dir.path(), "p" + std::to_string(t), 1.0));
+    for (int t = 0; t < kThreads; t++)
+        threads.emplace_back([&, t] {
+            if (peers[static_cast<std::size_t>(t)]->breakStale("job"))
+                claimable.fetch_add(1);
+        });
+    for (auto &th : threads)
+        th.join();
+
+    // Whether a breaker won the rename or raced a winner (ENOENT),
+    // every one must report the lease claimable afterwards.
+    EXPECT_EQ(claimable.load(), kThreads);
+    EXPECT_FALSE(std::filesystem::exists(owner.leasePath("job")));
+}
+
+TEST(ClaimStore, GcReclaimsOnlyExpiredLeases)
+{
+    TempCacheDir dir("claims_gc");
+    ClaimStore store(dir.path(), "w", 5.0);
+    ASSERT_TRUE(store.tryAcquire("fresh"));
+    ASSERT_TRUE(store.tryAcquire("dead1"));
+    ASSERT_TRUE(store.tryAcquire("dead2"));
+    backdate(store.leasePath("dead1"), 60.0);
+    backdate(store.leasePath("dead2"), 60.0);
+
+    EXPECT_EQ(store.gcStale(), 2u);
+    EXPECT_TRUE(std::filesystem::exists(store.leasePath("fresh")));
+    EXPECT_FALSE(std::filesystem::exists(store.leasePath("dead1")));
+    EXPECT_EQ(store.gcStale(), 0u);
+}

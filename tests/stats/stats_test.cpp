@@ -100,6 +100,26 @@ TEST(StreamingStats, Ci95ShrinksWithSamples)
     EXPECT_GT(small.ci95(), large.ci95());
 }
 
+TEST(StreamingStats, Ci95UsesStudentTForSmallSamples)
+{
+    // Pin the t-quantile at several sample sizes by dividing out the
+    // stddev/sqrt(n) factor: n=2 -> t_1, n=8 -> t_7 (the paper's
+    // 8-seed runs), n=30 -> t_29, and the asymptotic 1.96 beyond.
+    auto tFactor = [](std::uint64_t n) {
+        StreamingStats s;
+        for (std::uint64_t i = 0; i < n; i++)
+            s.add(i % 2 ? 1.0 : -1.0);
+        return s.ci95() * std::sqrt(static_cast<double>(n)) /
+               s.stddev();
+    };
+    EXPECT_NEAR(tFactor(2), 12.706, 1e-9);
+    EXPECT_NEAR(tFactor(8), 2.365, 1e-9);
+    EXPECT_NEAR(tFactor(30), 2.045, 1e-9);
+    EXPECT_NEAR(tFactor(31), 1.96, 1e-9);
+    // z = 1.96 at n = 8 would understate the interval by ~17%.
+    EXPECT_GT(tFactor(8), 1.96);
+}
+
 // --- LatencyRecorder ---
 
 TEST(LatencyRecorder, Empty)

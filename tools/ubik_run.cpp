@@ -16,6 +16,11 @@
  *   # Machine-readable results (bit-identical runs diff clean)
  *   ubik_run fig9 --results fig9.json
  *
+ *   # Two cooperating workers filling one sweep matrix (distributed
+ *   # sweeps: see README "Distributed sweeps")
+ *   ubik_run fig9 --fleet --cache-dir cache --worker-id a &
+ *   ubik_run fig9 --fleet --cache-dir cache --worker-id b
+ *
  * Overrides apply in order after the spec loads, so `--set` always
  * beats the spec file, and a later `--set` beats an earlier one.
  * Machine scale stays environmental (UBIK_SCALE, UBIK_REQUESTS,
@@ -100,6 +105,22 @@ main(int argc, char **argv)
                  "UBIK_CACHE_DIR)");
     auto &no_cache = cli.flag("no-cache", false,
                               "ignore UBIK_CACHE_DIR / --cache-dir");
+    auto &fleet = cli.flag(
+        "fleet", false,
+        "cooperate with other --fleet processes sharing the cache "
+        "dir: claim (scheme, mix, seed) jobs via lease files, so N "
+        "invocations fill one sweep matrix between them");
+    auto &worker_id =
+        cli.flag("worker-id", "",
+                 "fleet lease owner identity (default host-pid)");
+    auto &lease_ttl = cli.flag(
+        "lease-ttl", 60.0,
+        "fleet lease TTL in seconds: a worker silent this long is "
+        "presumed dead and its claims are reclaimed");
+    auto &shard = cli.flag(
+        "shard", "",
+        "run only every n-th mix, as i/n (e.g. 0/4); shards share "
+        "cache keys, so their caches merge (overrides UBIK_SHARD)");
     auto &verbose =
         cli.flag("verbose", false, "chatty progress output");
     cli.parse(argc, argv);
@@ -174,6 +195,20 @@ main(int argc, char **argv)
         cfg.cacheDir = cache_dir.value;
     if (no_cache.value)
         cfg.cacheDir.clear();
+    if (fleet.value)
+        cfg.fleet = true;
+    if (!worker_id.value.empty())
+        cfg.workerId = worker_id.value;
+    if (lease_ttl.value != 60.0) {
+        if (lease_ttl.value <= 0)
+            fatal("--lease-ttl must be > 0 seconds");
+        cfg.leaseTtlSec = lease_ttl.value;
+    }
+    if (!shard.value.empty())
+        cfg.applyShardSpec("--shard", shard.value);
+    if (cfg.fleet && cfg.cacheDir.empty())
+        fatal("--fleet needs a shared cache: pass --cache-dir (or "
+              "set UBIK_CACHE_DIR)");
 
     return executeScenario(spec, cfg, results.value);
 }
