@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bounded retry with capped exponential backoff and deterministic
+ * jitter.
+ *
+ * The fleet fabric's degradation policy is "retry briefly, then
+ * degrade, never spin": a transient I/O error (NFS hiccup, contended
+ * inode) gets a handful of millisecond-scale retries, and a
+ * persistent one hands control back to the caller to degrade
+ * gracefully. Jitter is drawn from Rng::jobStream, so a given
+ * (seed, stream) pair always sleeps the same schedule — chaos tests
+ * replay byte-identically.
+ */
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace ubik {
+
+/**
+ * Backoff schedule: delays grow base * 2^attempt, capped, each
+ * multiplied by a jitter factor in [0.5, 1.0) from a deterministic
+ * stream. Defaults keep worst-case total sleep under ~60 ms for the
+ * default 4 attempts — callers sit on sweep worker threads and must
+ * not stall the pool noticeably.
+ */
+class RetryBackoff
+{
+  public:
+    RetryBackoff(std::uint64_t seed, std::uint64_t stream,
+                 int max_attempts = 4, double base_sec = 0.002,
+                 double cap_sec = 0.032)
+        : rng_(Rng::jobStream(seed, stream)),
+          maxAttempts_(max_attempts), baseSec_(base_sec),
+          capSec_(cap_sec)
+    {
+    }
+
+    /**
+     * True while another attempt is allowed; sleeps the backoff delay
+     * before returning (no sleep before the first retry decision's
+     * predecessor — call after a failure). Typical shape:
+     *
+     *   RetryBackoff retry(seed, streamId);
+     *   while (!tryIo() && retry.next()) {}
+     */
+    bool next()
+    {
+        if (attempt_ >= maxAttempts_)
+            return false;
+        double d = baseSec_ * static_cast<double>(1ull << attempt_);
+        if (d > capSec_)
+            d = capSec_;
+        d *= rng_.uniform(0.5, 1.0);
+        std::this_thread::sleep_for(std::chrono::duration<double>(d));
+        attempt_++;
+        return true;
+    }
+
+    int attempts() const { return attempt_; }
+
+  private:
+    Rng rng_;
+    int maxAttempts_;
+    int attempt_ = 0;
+    double baseSec_;
+    double capSec_;
+};
+
+} // namespace ubik

@@ -297,6 +297,23 @@ printCacheStats(const ResultCache &cache, std::FILE *out)
                  static_cast<unsigned long long>(st.corrupt),
                  static_cast<unsigned long long>(st.claimsLive),
                  static_cast<unsigned long long>(st.claimsGced));
+    // Degradation accounting on its own line, printed only when
+    // anything actually retried or degraded: the common clean run
+    // keeps its familiar single [cache] line.
+    if (st.degraded() == 0 && st.appendRetries == 0)
+        return;
+    std::fprintf(out,
+                 "  [cache-degraded] %s: %llu append retries, "
+                 "%llu stores dropped, %llu fsync degraded, "
+                 "%llu refresh degraded, %llu heartbeat releases, "
+                 "%llu solo fallbacks\n",
+                 cache.dir().c_str(),
+                 static_cast<unsigned long long>(st.appendRetries),
+                 static_cast<unsigned long long>(st.storesDropped),
+                 static_cast<unsigned long long>(st.fsyncDegraded),
+                 static_cast<unsigned long long>(st.refreshDegraded),
+                 static_cast<unsigned long long>(st.hbReleases),
+                 static_cast<unsigned long long>(st.soloFallbacks));
 }
 
 } // namespace ubik

@@ -10,8 +10,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/log.h"
+#include "common/retry.h"
 
 namespace ubik {
 
@@ -68,9 +70,15 @@ ClaimStore::ClaimStore(const std::string &cache_dir, std::string owner,
         fatal("claim store: lease TTL must be > 0s (got %f)", ttlSec_);
     std::error_code ec;
     fs::create_directories(dir_, ec);
-    if (!fs::is_directory(dir_))
-        fatal("claim store: cannot create '%s' (%s)", dir_.c_str(),
-              ec.message().c_str());
+    if (!fs::is_directory(dir_)) {
+        // Claims only deduplicate work across fleet workers; a worker
+        // that cannot reach them degrades to solo execution instead of
+        // dying (sweep_executor.cpp checks usable()).
+        warn("claim store: cannot create '%s' (%s); degrading to solo "
+             "execution",
+             dir_.c_str(), ec.message().c_str());
+        usable_.store(false, std::memory_order_relaxed);
+    }
 }
 
 std::string
@@ -87,12 +95,34 @@ ClaimStore::leasePath(const std::string &key) const
 bool
 ClaimStore::tryAcquire(const std::string &key)
 {
+    if (!usable())
+        return false;
     std::string path = leasePath(key);
-    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    int fd = -1;
+    RetryBackoff retry(0xc1a13ull, fnvString(key));
+    for (;;) {
+        FailpointHit hit = failpointEval("claim.create");
+        if (hit.kind == FailpointHit::Kind::Err) {
+            errno = hit.err;
+        } else {
+            fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY,
+                        0644);
+        }
+        if (fd >= 0 || errno == EEXIST || !retry.next())
+            break;
+    }
     if (fd < 0) {
-        if (errno != EEXIST)
-            fatal("claim store: cannot create lease %s: %s",
-                  path.c_str(), std::strerror(errno));
+        if (errno != EEXIST) {
+            // Persistent real I/O errors mean the claims dir is gone
+            // or broken; mark the store unusable so the executor can
+            // fall back to solo execution rather than hot-looping on
+            // "claimable but unclaimable" keys.
+            if (!createWarned_.exchange(true))
+                warn("claim store: cannot create lease %s (%s); "
+                     "degrading to solo execution",
+                     path.c_str(), std::strerror(errno));
+            usable_.store(false, std::memory_order_relaxed);
+        }
         return false;
     }
     // Contents are for humans debugging a wedged fleet; existence +
@@ -116,6 +146,12 @@ ClaimStore::release(const std::string &key)
     }
     // ENOENT is fine: a peer that presumed us dead broke the lease;
     // the recompute it triggers is a duplicate of an identical value.
+    // An injected/real remove failure leaves the lease behind, where
+    // it expires after the TTL and peers break it — release is
+    // best-effort by design.
+    if (failpointEval("claim.release").kind ==
+        FailpointHit::Kind::Err)
+        return;
     std::error_code ec;
     fs::remove(path, ec);
 }
@@ -130,10 +166,32 @@ ClaimStore::heartbeatAll()
     }
     for (const std::string &path : mine) {
         std::error_code ec;
-        fs::last_write_time(path, fs::file_time_type::clock::now(),
-                            ec);
-        // A failure means the lease was broken under us; the work
-        // still completes and publishes, just possibly twice.
+        FailpointHit hit = failpointEval("claim.heartbeat");
+        if (hit.kind == FailpointHit::Kind::Err)
+            ec = std::error_code(hit.err, std::generic_category());
+        else
+            fs::last_write_time(path,
+                                fs::file_time_type::clock::now(), ec);
+        if (!ec)
+            continue;
+        // The heartbeat cannot be written (claims dir vanished, the
+        // lease was broken under us, or an I/O error). Voluntarily
+        // release: a lease we cannot keep fresh would look dead to
+        // peers after the TTL anyway, so dropping it now lets them
+        // reclaim early. The in-flight work still completes and
+        // publishes — the worst case is one duplicate compute of an
+        // identical value.
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            held_.erase(path);
+        }
+        std::error_code rec;
+        fs::remove(path, rec);
+        hbReleases_.fetch_add(1, std::memory_order_relaxed);
+        if (!hbWarned_.exchange(true))
+            warn("claim store: heartbeat failed on %s (%s); lease "
+                 "voluntarily released so peers may reclaim it",
+                 path.c_str(), ec.message().c_str());
     }
 }
 
@@ -157,6 +215,10 @@ ClaimStore::breakStale(const std::string &key)
         return true; // no lease: claimable
     if (ageSec(mtime) <= ttlSec_)
         return false; // live owner
+    // An injected break failure reads as "not claimable right now";
+    // the caller's poll loop simply retries later, so liveness holds.
+    if (failpointEval("claim.break").kind == FailpointHit::Kind::Err)
+        return false;
     // Atomic rename to a per-breaker tombstone: of N racing breakers
     // exactly one wins the rename; losers see ENOENT, which means
     // "someone broke it" — equally claimable.

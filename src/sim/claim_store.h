@@ -33,6 +33,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <set>
@@ -58,7 +59,10 @@ class ClaimStore
     ClaimStore(const std::string &cache_dir, std::string owner,
                double ttl_sec);
 
-    /** Try to claim `key`; true iff this store now owns the lease. */
+    /** Try to claim `key`; true iff this store now owns the lease.
+     *  Returns false both when a peer holds the lease and when the
+     *  claims directory has become unusable — check usable() to tell
+     *  the two apart. */
     bool tryAcquire(const std::string &key);
 
     /** Drop an owned lease (idempotent: a peer that presumed us dead
@@ -66,8 +70,31 @@ class ClaimStore
     void release(const std::string &key);
 
     /** Refresh the mtime of every lease this store holds, so a live
-     *  owner never crosses the TTL. */
+     *  owner never crosses the TTL. A lease whose heartbeat cannot be
+     *  written (claims dir vanished, I/O error) is voluntarily
+     *  released — peers reclaim it after the TTL instead of waiting
+     *  on a silently un-heartbeated owner — and counted in
+     *  hbReleases(). */
     void heartbeatAll();
+
+    /**
+     * False once the claims directory has proven unusable (creation
+     * failed at construction, or lease creation keeps failing with
+     * real I/O errors). Callers should degrade to solo execution:
+     * claims only deduplicate work across workers, so losing them
+     * costs duplicate computes of identical values, never
+     * correctness.
+     */
+    bool usable() const
+    {
+        return usable_.load(std::memory_order_relaxed);
+    }
+
+    /** Leases voluntarily released because their heartbeat failed. */
+    std::uint64_t hbReleases() const
+    {
+        return hbReleases_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Break `key`'s lease if it exists and is older than the TTL.
@@ -104,6 +131,11 @@ class ClaimStore
 
     mutable std::mutex mu_;
     std::set<std::string> held_; ///< lease paths we own
+
+    std::atomic<bool> usable_{true};
+    std::atomic<std::uint64_t> hbReleases_{0};
+    std::atomic<bool> createWarned_{false};
+    std::atomic<bool> hbWarned_{false};
 };
 
 } // namespace ubik

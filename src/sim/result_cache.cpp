@@ -10,7 +10,9 @@
 #include <map>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/log.h"
+#include "common/retry.h"
 #include "sim/claim_store.h"
 
 namespace ubik {
@@ -349,6 +351,59 @@ constexpr char kKindMix = 'm';
 constexpr char kKindLc = 'l';
 constexpr char kKindBatch = 'b';
 
+/** How one append attempt ended. */
+enum class AppendOutcome
+{
+    Ok,   ///< the full record (and newline) reached the stream
+    Torn, ///< injected crash mid-record: bytes partially on disk
+    Err,  ///< persistent failure after bounded retries
+};
+
+/**
+ * Write all of `line`, absorbing short fwrite returns (real or
+ * injected) by retrying the remainder. Zero-progress attempts burn
+ * bounded backoff attempts; partial progress retries immediately.
+ * Counts every extra attempt in `retries`.
+ */
+AppendOutcome
+appendAll(std::FILE *f, const std::string &line, std::size_t shard_idx,
+          std::atomic<std::uint64_t> &retries)
+{
+    std::size_t done = 0;
+    RetryBackoff backoff(0x5afec0deull, shard_idx);
+    for (;;) {
+        std::size_t want = line.size() - done;
+        FailpointHit hit = failpointEval("cache.append");
+        std::size_t wrote = 0;
+        if (hit.kind == FailpointHit::Kind::Err) {
+            errno = hit.err; // simulated device error: nothing written
+        } else if (hit.kind == FailpointHit::Kind::ShortWrite ||
+                   hit.kind == FailpointHit::Kind::Torn) {
+            std::size_t n = hit.arg < want
+                                ? static_cast<std::size_t>(hit.arg)
+                                : want;
+            wrote = std::fwrite(line.data() + done, 1, n, f);
+            if (hit.kind == FailpointHit::Kind::Torn) {
+                // Simulated crash: whatever made it out stays, the
+                // writer never comes back for the rest.
+                std::fflush(f);
+                return AppendOutcome::Torn;
+            }
+        } else {
+            wrote = std::fwrite(line.data() + done, 1, want, f);
+        }
+        done += wrote;
+        if (done == line.size())
+            return AppendOutcome::Ok;
+        std::clearerr(f); // a failed stream must accept the retry
+        retries.fetch_add(1, std::memory_order_relaxed);
+        if (wrote > 0)
+            continue; // partial progress: retry the remainder now
+        if (!backoff.next())
+            return AppendOutcome::Err;
+    }
+}
+
 } // namespace
 
 // ---------------------------------------------------------------------------
@@ -480,6 +535,14 @@ void
 ResultCache::refreshShardLocked(Shard &s, std::size_t idx)
 {
     s.loaded = true;
+    // A failed refresh leaves a stale view: subsequent lookups can
+    // miss on records that are actually on disk, costing a duplicate
+    // compute of a deterministic value — never a wrong result.
+    if (failpointEval("cache.refresh").kind ==
+        FailpointHit::Kind::Err) {
+        refreshDegraded_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
     std::ifstream in(shardPath(idx), std::ios::binary);
     if (!in.is_open())
         return; // nothing persisted yet
@@ -634,8 +697,23 @@ ResultCache::store(char kind, const std::string &key,
                        "\n";
     // One append per record: concurrent processes interleave at
     // record granularity at worst (a torn tail fails its checksum and
-    // reads as a miss).
-    if (std::FILE *f = std::fopen(shardPath(idx).c_str(), "a+b")) {
+    // reads as a miss). Persistence failures degrade, never kill: the
+    // in-memory entry is kept either way, so this worker still serves
+    // its own result and only peers pay a recompute.
+    std::FILE *f = nullptr;
+    RetryBackoff openRetry(0x0be7c0deull, idx);
+    for (;;) {
+        FailpointHit hit = failpointEval("cache.open");
+        if (hit.kind == FailpointHit::Kind::Err) {
+            errno = hit.err;
+        } else {
+            f = std::fopen(shardPath(idx).c_str(), "a+b");
+        }
+        if (f || !openRetry.next())
+            break;
+    }
+    bool persisted = false;
+    if (f) {
         // A crashed writer can leave a torn tail with no newline;
         // gluing this record onto it would corrupt both. Start a
         // fresh line instead (the blank line is skipped on load).
@@ -644,18 +722,42 @@ ResultCache::store(char kind, const std::string &key,
         // Update streams require a positioning call between the read
         // above and the write (C11 7.21.5.3p7).
         std::fseek(f, 0, SEEK_END);
-        std::fwrite(line.data(), 1, line.size(), f);
-        if (durable_) {
+        AppendOutcome out = appendAll(f, line, idx, appendRetries_);
+        persisted = out == AppendOutcome::Ok;
+        if (persisted && durable_) {
             // Fleet mode: the claim protocol treats "lease released"
             // as "result survives a crash", so the record must be on
             // disk before the caller drops its lease.
             std::fflush(f);
-            ::fsync(fileno(f));
+            int rc;
+            FailpointHit fs = failpointEval("cache.fsync");
+            if (fs.kind == FailpointHit::Kind::Err) {
+                errno = fs.err;
+                rc = -1;
+            } else {
+                rc = ::fsync(fileno(f));
+            }
+            if (rc != 0) {
+                // The record is appended but its crash-survival
+                // guarantee is weakened; peers re-verify via checksum
+                // anyway, so degrade rather than die.
+                fsyncDegraded_.fetch_add(1,
+                                         std::memory_order_relaxed);
+                if (!fsyncWarned_.exchange(true))
+                    warn("result cache: fsync failed on %s (%s); "
+                         "records may not survive a crash",
+                         shardPath(idx).c_str(),
+                         std::strerror(errno));
+            }
         }
         std::fclose(f);
-    } else {
-        warn("result cache: cannot append to %s",
-             shardPath(idx).c_str());
+    }
+    if (!persisted) {
+        storesDropped_.fetch_add(1, std::memory_order_relaxed);
+        if (!appendWarned_.exchange(true))
+            warn("result cache: cannot append to %s (%s); continuing "
+                 "uncached — this worker keeps its results in memory",
+                 shardPath(idx).c_str(), std::strerror(errno));
     }
     s.entries[mapKey] = payload;
     stores_.fetch_add(1, std::memory_order_relaxed);
@@ -713,6 +815,18 @@ ResultCache::noteClaimsGced(std::uint64_t n)
     claimsGced_.fetch_add(n, std::memory_order_relaxed);
 }
 
+void
+ResultCache::noteHbReleases(std::uint64_t n)
+{
+    hbReleases_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ResultCache::noteSoloFallback()
+{
+    soloFallbacks_.fetch_add(1, std::memory_order_relaxed);
+}
+
 std::optional<LcBaseline>
 ResultCache::loadLcBaseline(const std::string &key)
 {
@@ -766,6 +880,17 @@ ResultCache::stats() const
     st.evicted = evicted_.load(std::memory_order_relaxed);
     st.corrupt = corrupt_.load(std::memory_order_relaxed);
     st.claimsGced = claimsGced_.load(std::memory_order_relaxed);
+    st.appendRetries =
+        appendRetries_.load(std::memory_order_relaxed);
+    st.storesDropped =
+        storesDropped_.load(std::memory_order_relaxed);
+    st.fsyncDegraded =
+        fsyncDegraded_.load(std::memory_order_relaxed);
+    st.refreshDegraded =
+        refreshDegraded_.load(std::memory_order_relaxed);
+    st.hbReleases = hbReleases_.load(std::memory_order_relaxed);
+    st.soloFallbacks =
+        soloFallbacks_.load(std::memory_order_relaxed);
     std::error_code ec;
     std::filesystem::directory_iterator it(
         dir_ + "/" + ClaimStore::kSubdir, ec),

@@ -91,6 +91,42 @@ struct CacheStats
     /** Orphaned (expired) claim records reclaimed through this
      *  cache's accounting (ResultCache::noteClaimsGced). */
     std::uint64_t claimsGced = 0;
+
+    // -- Degradation counters (fault tolerance, PR 8) ------------------
+
+    /** Append attempts that needed a retry (short write or transient
+     *  error) but ultimately landed the record. Recovered, not
+     *  degraded: excluded from degraded(). */
+    std::uint64_t appendRetries = 0;
+
+    /** Records that could not be persisted after retries (the worker
+     *  kept its in-memory copy and continued uncached). */
+    std::uint64_t storesDropped = 0;
+
+    /** Durable-mode fsyncs that failed; the record was appended but
+     *  its crash-survival guarantee is weakened. */
+    std::uint64_t fsyncDegraded = 0;
+
+    /** Shard refreshes that failed to read the shard file; the stale
+     *  view can cost a duplicate compute, never a wrong result. */
+    std::uint64_t refreshDegraded = 0;
+
+    /** Leases voluntarily released because their heartbeat could not
+     *  be written (ClaimStore -> noteHbReleases). */
+    std::uint64_t hbReleases = 0;
+
+    /** Fleet workers that fell back to solo execution because the
+     *  claims directory was unusable (FleetExecutor ->
+     *  noteSoloFallback). */
+    std::uint64_t soloFallbacks = 0;
+
+    /** Total degradation events (appendRetries excluded: a recovered
+     *  retry delivered full service). */
+    std::uint64_t degraded() const
+    {
+        return storesDropped + fsyncDegraded + refreshDegraded +
+               hbReleases + soloFallbacks;
+    }
 };
 
 /**
@@ -175,6 +211,14 @@ class ResultCache
      *  cache's stats. */
     void noteClaimsGced(std::uint64_t n);
 
+    /** Fold heartbeat-failure lease releases (sim/claim_store.h) into
+     *  this cache's degradation accounting. */
+    void noteHbReleases(std::uint64_t n);
+
+    /** Record a fleet worker degrading to solo execution
+     *  (sim/sweep_executor.cpp). */
+    void noteSoloFallback();
+
     CacheStats stats() const;
 
     const std::string &dir() const { return dir_; }
@@ -205,6 +249,14 @@ class ResultCache
     std::atomic<std::uint64_t> evicted_{0};
     std::atomic<std::uint64_t> corrupt_{0};
     std::atomic<std::uint64_t> claimsGced_{0};
+    std::atomic<std::uint64_t> appendRetries_{0};
+    std::atomic<std::uint64_t> storesDropped_{0};
+    std::atomic<std::uint64_t> fsyncDegraded_{0};
+    std::atomic<std::uint64_t> refreshDegraded_{0};
+    std::atomic<std::uint64_t> hbReleases_{0};
+    std::atomic<std::uint64_t> soloFallbacks_{0};
+    std::atomic<bool> appendWarned_{false};
+    std::atomic<bool> fsyncWarned_{false};
 };
 
 } // namespace ubik

@@ -790,12 +790,15 @@ runSchemeSweep(const ExperimentConfig &cfg,
                              p.remote, p.elapsedSec);
         });
     // Machine-greppable per-process accounting: CI sums `computed=`
-    // across fleet workers to prove zero duplicate computation.
+    // across fleet workers to prove zero duplicate computation, and
+    // `degraded=` counts fault-tolerance events (0 on a clean run).
     std::fprintf(stderr,
                  "  [sweep-summary] worker=%s jobs=%zu hits=%zu "
-                 "computed=%zu remote=%zu\n",
+                 "computed=%zu remote=%zu degraded=%llu\n",
                  worker.empty() ? "local" : worker.c_str(),
-                 jobs.size(), last.hits, last.computed, last.remote);
+                 jobs.size(), last.hits, last.computed, last.remote,
+                 static_cast<unsigned long long>(
+                     cache ? cache->stats().degraded() : 0));
     if (cache)
         printCacheStats(*cache);
 

@@ -105,12 +105,39 @@ FleetExecutor::FleetExecutor(MixRunner &runner, JobPool &pool,
 }
 
 void
+FleetExecutor::runSolo(std::vector<ClaimTask> &tasks,
+                       const std::vector<std::size_t> &pending)
+{
+    if (!soloNoted_) {
+        soloNoted_ = true;
+        cache_.noteSoloFallback();
+        warn("fleet: claims directory unusable; degrading to solo "
+             "execution of %zu remaining items (results unchanged, "
+             "cross-worker dedup lost)",
+             pending.size());
+    }
+    // Poll once (a peer may have published already), then compute.
+    // No leases: peers may duplicate our work, but every duplicate is
+    // an identical deterministic value, so the merged matrix is
+    // unchanged.
+    pool_.run(pending.size(), [&](std::size_t k) {
+        ClaimTask &t = tasks[pending[k]];
+        if (!t.poll())
+            t.compute();
+    });
+}
+
+void
 FleetExecutor::runClaimLoop(std::vector<ClaimTask> &tasks)
 {
     std::vector<std::size_t> pending(tasks.size());
     std::iota(pending.begin(), pending.end(), std::size_t{0});
     double backoff = opt_.pollSec;
     while (!pending.empty()) {
+        if (!claims_.usable()) {
+            runSolo(tasks, pending);
+            return;
+        }
         std::vector<char> finished(pending.size(), 0);
         pool_.run(pending.size(), [&](std::size_t k) {
             ClaimTask &t = tasks[pending[k]];
@@ -248,8 +275,12 @@ FleetExecutor::execute(const std::vector<SweepWorkItem> &items,
     hb.join();
 
     // Sweep-exit GC: reclaim expired leases crashed peers left behind
-    // (ours were all released above).
-    cache_.noteClaimsGced(claims_.gcStale());
+    // (ours were all released above). Fold heartbeat-failure releases
+    // into the degradation accounting now that the heartbeat thread
+    // is quiesced.
+    cache_.noteHbReleases(claims_.hbReleases());
+    if (claims_.usable())
+        cache_.noteClaimsGced(claims_.gcStale());
 }
 
 } // namespace ubik

@@ -100,6 +100,12 @@ class JobPoolExecutor : public SweepExecutor
  * then computes. Leases of crashed peers are broken once they exceed
  * the TTL. A heartbeat thread refreshes owned leases so a live worker
  * never looks dead, however long one simulation takes.
+ *
+ * Degradation: claims only deduplicate work, so if the claims
+ * directory is (or becomes) unusable, the worker falls back to solo
+ * execution of its remaining items — poll the shared cache once, then
+ * compute — instead of dying. The sweep still completes with
+ * identical results; only cross-worker dedup is lost.
  */
 class FleetExecutor : public SweepExecutor
 {
@@ -126,11 +132,17 @@ class FleetExecutor : public SweepExecutor
 
     void runClaimLoop(std::vector<ClaimTask> &tasks);
 
+    /** Fill the pending tasks without claims (poll once, then
+     *  compute): the degraded path when the claims dir is unusable. */
+    void runSolo(std::vector<ClaimTask> &tasks,
+                 const std::vector<std::size_t> &pending);
+
     MixRunner &runner_;
     JobPool &pool_;
     ResultCache &cache_;
     FleetOptions opt_;
     ClaimStore claims_;
+    bool soloNoted_ = false; ///< count the fallback once per worker
 };
 
 } // namespace ubik

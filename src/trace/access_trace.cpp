@@ -1,10 +1,12 @@
 #include "trace/access_trace.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "trace/trace_format.h"
 #include "trace/trace_reader.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/log.h"
 
@@ -43,7 +45,8 @@ TraceWriter::TraceWriter(const std::string &path, TraceWriterOptions opt)
     : file_(std::fopen(path.c_str(), "wb")), path_(path), opt_(opt)
 {
     if (!file_)
-        fatal("cannot open trace file %s for writing", path.c_str());
+        fatal("cannot open trace file %s for writing: %s",
+              path.c_str(), std::strerror(errno));
     if (opt_.version != kVersionV1 && opt_.version != kVersionV2)
         fatal("trace %s: cannot write version %u (1 or 2)",
               path.c_str(), opt_.version);
@@ -51,7 +54,8 @@ TraceWriter::TraceWriter(const std::string &path, TraceWriterOptions opt)
         opt_.chunkBytes = 1;
     std::fwrite(kMagic, 1, sizeof(kMagic), file_);
     if (std::fputc(opt_.version, file_) == EOF)
-        fatal("write error on trace file %s", path_.c_str());
+        fatal("write error on trace file %s: %s", path_.c_str(),
+              std::strerror(errno));
 }
 
 TraceWriter::~TraceWriter()
@@ -62,8 +66,16 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::putByte(std::uint8_t b)
 {
-    if (std::fputc(b, file_) == EOF)
-        fatal("write error on trace file %s", path_.c_str());
+    // Trace capture has no graceful degradation: a trace missing
+    // bytes is worthless, so the contract is fail-fast with the
+    // precise cause. The failpoint lets tests prove the message.
+    FailpointHit hit = failpointEval("trace.write");
+    if (hit.kind == FailpointHit::Kind::Err)
+        errno = hit.err;
+    if (hit.kind == FailpointHit::Kind::Err ||
+        std::fputc(b, file_) == EOF)
+        fatal("write error on trace file %s: %s", path_.c_str(),
+              std::strerror(errno));
 }
 
 void
@@ -118,9 +130,14 @@ TraceWriter::flushChunk()
         fnv1a64Bytes(kFnvOffsetBasis, chunk_.data(), chunk_.size());
     for (int i = 0; i < 8; i++)
         putByte(static_cast<std::uint8_t>(h >> (8 * i)));
-    if (std::fwrite(chunk_.data(), 1, chunk_.size(), file_) !=
-        chunk_.size())
-        fatal("write error on trace file %s", path_.c_str());
+    FailpointHit hit = failpointEval("trace.write");
+    if (hit.kind == FailpointHit::Kind::Err)
+        errno = hit.err;
+    if (hit.kind == FailpointHit::Kind::Err ||
+        std::fwrite(chunk_.data(), 1, chunk_.size(), file_) !=
+            chunk_.size())
+        fatal("write error on trace file %s: %s", path_.c_str(),
+              std::strerror(errno));
     chunk_.clear();
     chunkRequests_ = 0;
     chunkAccesses_ = 0;

@@ -10,6 +10,7 @@
 
 #include "trace/access_trace.h"
 #include "trace/trace_format.h"
+#include "common/failpoint.h"
 #include "common/hash.h"
 #include "common/log.h"
 
@@ -84,6 +85,14 @@ class ByteSource
     {
         base_ += len_;
         pos_ = 0;
+        // Injected read failure: the reader must diagnose "failing
+        // disk", not "truncated capture" (failEof distinguishes).
+        if (failpointEval("trace.read").kind ==
+            FailpointHit::Kind::Err) {
+            len_ = 0;
+            ioError_ = true;
+            return false;
+        }
         len_ = std::fread(buf_, 1, sizeof(buf_), file_);
         if (len_ < sizeof(buf_) && file_ && std::ferror(file_))
             ioError_ = true;
@@ -430,7 +439,11 @@ struct TraceReader::Impl
             return failEof("truncated chunk (unexpected end of file)");
         std::uint64_t h =
             fnv1a64Bytes(kFnvOffsetBasis, chunk.data(), chunk.size());
-        if (h != crc)
+        // The failpoint simulates a bit flip that survived the disk:
+        // same diagnosis as a genuinely corrupt chunk.
+        if (failpointEval("trace.checksum").kind ==
+                FailpointHit::Kind::Err ||
+            h != crc)
             return fail("chunk " + std::to_string(decChunks) +
                         " checksum mismatch — corrupt trace?");
         chunkPos = 0;

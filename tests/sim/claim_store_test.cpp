@@ -10,9 +10,11 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "sim/claim_store.h"
 #include "support/cache_test_util.h"
 
@@ -151,4 +153,104 @@ TEST(ClaimStore, GcReclaimsOnlyExpiredLeases)
     EXPECT_TRUE(std::filesystem::exists(store.leasePath("fresh")));
     EXPECT_FALSE(std::filesystem::exists(store.leasePath("dead1")));
     EXPECT_EQ(store.gcStale(), 0u);
+}
+
+TEST(ClaimStore, HeartbeatSurvivesClaimsDirDisappearing)
+{
+    // The claims directory vanishing mid-run (operator rm -rf, NFS
+    // unmount) must not crash or wedge the heartbeat: the affected
+    // leases are voluntarily released — peers reclaim the work —
+    // and counted.
+    TempCacheDir dir("claims_vanish");
+    ClaimStore store(dir.path(), "w", 60.0);
+    ASSERT_TRUE(store.tryAcquire("job1"));
+    ASSERT_TRUE(store.tryAcquire("job2"));
+
+    std::filesystem::remove_all(dir.path() + "/" +
+                                ClaimStore::kSubdir);
+    store.heartbeatAll(); // ENOENT on every mtime refresh
+    EXPECT_EQ(store.hbReleases(), 2u);
+    EXPECT_TRUE(store.held().empty());
+
+    // Quiet afterwards: nothing held, repeat heartbeats are no-ops.
+    store.heartbeatAll();
+    EXPECT_EQ(store.hbReleases(), 2u);
+}
+
+TEST(ClaimStore, HeartbeatFailureReleasesOnlyTheFailingLease)
+{
+    TempCacheDir dir("claims_hb_one");
+    ClaimStore store(dir.path(), "w", 60.0);
+    ASSERT_TRUE(store.tryAcquire("victim"));
+    ASSERT_TRUE(store.tryAcquire("healthy"));
+
+    // One injected heartbeat failure: exactly one lease (whichever
+    // the failing evaluation lands on) is released, the other stays
+    // held and on disk.
+    failpointConfigure("claim.heartbeat=err:EIO@1");
+    store.heartbeatAll();
+    failpointReset();
+    EXPECT_EQ(store.hbReleases(), 1u);
+    EXPECT_EQ(store.held().size(), 1u);
+
+    // The released lease is gone from disk, so peers can claim it
+    // immediately rather than waiting out the TTL.
+    int onDisk = 0;
+    for (const char *k : {"victim", "healthy"})
+        onDisk += std::filesystem::exists(store.leasePath(k)) ? 1 : 0;
+    EXPECT_EQ(onDisk, 1);
+    ClaimStore peer(dir.path(), "peer", 60.0);
+    int claimed = 0;
+    for (const char *k : {"victim", "healthy"})
+        claimed += peer.tryAcquire(k) ? 1 : 0;
+    EXPECT_EQ(claimed, 1);
+}
+
+TEST(ClaimStore, PersistentCreateErrorsDegradeToUnusable)
+{
+    TempCacheDir dir("claims_create_err");
+    ClaimStore store(dir.path(), "w", 60.0);
+    ASSERT_TRUE(store.usable());
+
+    // Every lease create fails with a real I/O error (not EEXIST):
+    // after bounded retries the store marks itself unusable so the
+    // executor can fall back to solo execution instead of spinning.
+    failpointConfigure("claim.create=err:EIO@*");
+    EXPECT_FALSE(store.tryAcquire("job"));
+    failpointReset();
+    EXPECT_FALSE(store.usable());
+    // Unusable is sticky: no further filesystem traffic.
+    EXPECT_FALSE(store.tryAcquire("job"));
+
+    // A healthy peer is unaffected.
+    ClaimStore peer(dir.path(), "peer", 60.0);
+    EXPECT_TRUE(peer.tryAcquire("job"));
+}
+
+TEST(ClaimStore, TransientCreateErrorIsRetriedThrough)
+{
+    // One injected failure then success: the acquire retries through
+    // and the store stays usable.
+    TempCacheDir dir("claims_create_transient");
+    ClaimStore store(dir.path(), "w", 60.0);
+    failpointConfigure("claim.create=err:EIO@1");
+    EXPECT_TRUE(store.tryAcquire("job"));
+    failpointReset();
+    EXPECT_TRUE(store.usable());
+    EXPECT_EQ(store.held().size(), 1u);
+}
+
+TEST(ClaimStore, UnusableClaimsDirWarnsInsteadOfDying)
+{
+    // A plain file where the claims directory should be: the ctor
+    // must degrade (usable() == false), not fatal.
+    TempCacheDir dir("claims_blocked");
+    std::filesystem::create_directories(dir.path());
+    {
+        std::ofstream block(dir.path() + "/" + ClaimStore::kSubdir);
+        block << "in the way\n";
+    }
+    ClaimStore store(dir.path(), "w", 60.0);
+    EXPECT_FALSE(store.usable());
+    EXPECT_FALSE(store.tryAcquire("job"));
 }

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "sim/result_cache.h"
 #include "support/cache_test_util.h"
 
@@ -255,6 +256,155 @@ TEST(ResultCacheHardening, ConcurrentSameKeyStoresStayConsistent)
     expectBitIdentical(loaded->lcTailMean, r.lcTailMean, "lcTailMean",
                        0);
     EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+/** Arm a failpoint schedule for one scope, disarm on exit. */
+struct FailpointGuard
+{
+    explicit FailpointGuard(const std::string &sched)
+    {
+        failpointConfigure(sched);
+    }
+    ~FailpointGuard() { failpointReset(); }
+};
+
+TEST(ResultCacheHardening, TornAppendAtEveryByteBoundaryRepairs)
+{
+    // Crash-consistency matrix: cut an append at every byte boundary
+    // (via the cache.append torn failpoint, which writes K bytes and
+    // then "crashes") and prove that (a) the earlier record is never
+    // lost, (b) the torn record reads as a miss, and (c) the next
+    // store repairs the shard.
+    const std::string keyA = "v1|hardening|torn|survivor";
+    const MixRunResult ra = sampleResult(6.5);
+    const MixRunResult rb = sampleResult(8.5);
+    // The victim must share the survivor's shard so the cut tears the
+    // same file the survivor lives in.
+    std::string keyB;
+    for (int i = 0; keyB.empty(); i++) {
+        std::string k = "v1|hardening|torn|victim" + std::to_string(i);
+        if (ResultCache::shardOf(k) == ResultCache::shardOf(keyA))
+            keyB = k;
+    }
+
+    // Learn the victim record's on-disk length from a clean store.
+    std::uintmax_t lineLen;
+    {
+        TempCacheDir scratch("torn_len");
+        ResultCache cache(scratch.path());
+        cache.storeMix(keyB, rb);
+        lineLen = std::filesystem::file_size(
+            onlyShardFile(scratch.path()));
+    }
+    ASSERT_GT(lineLen, 0u);
+
+    for (std::uintmax_t cut = 0; cut < lineLen; cut++) {
+        SCOPED_TRACE("append cut at byte " + std::to_string(cut) +
+                     " of " + std::to_string(lineLen));
+        TempCacheDir dir("torn_matrix");
+        {
+            ResultCache cache(dir.path());
+            cache.storeMix(keyA, ra);
+            FailpointGuard fp("cache.append=torn:" +
+                              std::to_string(cut) + "@1");
+            cache.storeMix(keyB, rb);
+            EXPECT_EQ(cache.stats().storesDropped, 1u);
+        }
+        {
+            // A fresh reader: the survivor is always intact. The
+            // victim reads as a miss — except at the last boundary,
+            // where the cut removed only the trailing newline and the
+            // checksum-complete record is legitimately recovered.
+            ResultCache cache(dir.path());
+            auto a = cache.loadMix(keyA);
+            ASSERT_TRUE(a.has_value()) << "earlier record lost";
+            expectBitIdentical(a->lcTailMean, ra.lcTailMean,
+                               "lcTailMean", 0);
+            bool newlineOnlyCut = cut + 1 == lineLen;
+            EXPECT_EQ(cache.loadMix(keyB).has_value(),
+                      newlineOnlyCut);
+            // The re-store repairs the shard (newline-glue + fresh
+            // record) without disturbing the survivor.
+            cache.storeMix(keyB, rb);
+            ASSERT_TRUE(cache.loadMix(keyB).has_value());
+        }
+        ResultCache cache(dir.path());
+        auto a = cache.loadMix(keyA);
+        auto b = cache.loadMix(keyB);
+        ASSERT_TRUE(a.has_value());
+        ASSERT_TRUE(b.has_value());
+        expectBitIdentical(a->weightedSpeedup, ra.weightedSpeedup,
+                           "weightedSpeedup", 0);
+        expectBitIdentical(b->weightedSpeedup, rb.weightedSpeedup,
+                           "weightedSpeedup", 1);
+    }
+}
+
+TEST(ResultCacheHardening, ShortWritesAreRetriedToCompletion)
+{
+    // Every fwrite is clipped to 3 bytes: the append loop must land
+    // the record via remainder retries, bit-exact and uncorrupted.
+    TempCacheDir dir("short_write");
+    const std::string key = "v1|hardening|shortwrite";
+    const MixRunResult r = sampleResult(5.25);
+    {
+        ResultCache cache(dir.path());
+        FailpointGuard fp("cache.append=short_write:3@1+");
+        cache.storeMix(key, r);
+        CacheStats st = cache.stats();
+        EXPECT_GT(st.appendRetries, 0u);
+        EXPECT_EQ(st.storesDropped, 0u);
+    }
+    ResultCache cache(dir.path());
+    auto loaded = cache.loadMix(key);
+    ASSERT_TRUE(loaded.has_value());
+    expectBitIdentical(loaded->lcTailMean, r.lcTailMean, "lcTailMean",
+                       0);
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST(ResultCacheHardening, PersistentAppendErrorKeepsServingInMemory)
+{
+    // Appends that keep failing degrade to uncached operation: the
+    // store is counted dropped, the worker's own instance still
+    // serves the value, and nothing corrupt lands on disk.
+    TempCacheDir dir("append_err");
+    const std::string key = "v1|hardening|appenderr";
+    const MixRunResult r = sampleResult(7.75);
+    {
+        ResultCache cache(dir.path());
+        FailpointGuard fp("cache.append=err:EIO@*");
+        cache.storeMix(key, r);
+        EXPECT_EQ(cache.stats().storesDropped, 1u);
+        auto mine = cache.loadMix(key);
+        ASSERT_TRUE(mine.has_value()); // in-memory copy survives
+        expectBitIdentical(mine->lcTailMean, r.lcTailMean,
+                           "lcTailMean", 0);
+    }
+    // The record never reached disk: a fresh instance misses cleanly.
+    ResultCache cache(dir.path());
+    EXPECT_FALSE(cache.loadMix(key).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST(ResultCacheHardening, DurableFsyncFailureDegradesNotDies)
+{
+    TempCacheDir dir("fsync_err");
+    const std::string key = "v1|hardening|fsyncerr";
+    const MixRunResult r = sampleResult(2.25);
+    {
+        ResultCache cache(dir.path());
+        cache.setDurable(true);
+        FailpointGuard fp("cache.fsync=err:EIO@*");
+        cache.storeMix(key, r);
+        CacheStats st = cache.stats();
+        EXPECT_EQ(st.fsyncDegraded, 1u);
+        EXPECT_EQ(st.storesDropped, 0u);
+    }
+    // The record was still appended; only its crash-durability
+    // guarantee was weakened.
+    ResultCache cache(dir.path());
+    ASSERT_TRUE(cache.loadMix(key).has_value());
 }
 
 } // namespace

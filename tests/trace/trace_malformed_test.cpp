@@ -15,12 +15,25 @@
 #include <string>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "trace/access_trace.h"
 #include "trace/trace_reader.h"
 #include "workload/trace_capture.h"
 
 namespace ubik {
 namespace {
+
+/** Arm a failpoint schedule for one test; disarm on scope exit.
+ *  Death-test children fork with the schedule armed, which is
+ *  exactly what lets EXPECT_DEATH prove the fatal message. */
+struct FailpointGuard
+{
+    explicit FailpointGuard(const char *sched)
+    {
+        failpointConfigure(sched);
+    }
+    ~FailpointGuard() { failpointReset(); }
+};
 
 std::string
 tmpPath(const std::string &name)
@@ -285,6 +298,54 @@ TEST(TraceMalformedDeath, AccessBeforeRequestInsideChunk)
     std::string path = tmpPath("orphan2.ubtr");
     writeBytes(path, b);
     EXPECT_DEATH(readTrace(path), "access before first request");
+}
+
+TEST(TraceMalformedDeath, EnospcDuringCaptureDiesWithTheCause)
+{
+    // Trace capture has no graceful degradation — a capture missing
+    // bytes is worthless — so a full disk must be a fatal() naming
+    // the file and the errno text, not a silent short file.
+    FailpointGuard fp("trace.write=err:ENOSPC@1");
+    std::string path = tmpPath("enospc.ubtr");
+    EXPECT_DEATH(writeTrace(smallTrace(), path),
+                 "write error on trace file .*enospc\\.ubtr: "
+                 "No space left on device");
+}
+
+TEST(TraceMalformedDeath, MidCaptureEnospcAlsoDies)
+{
+    // Same contract when the disk fills after some bytes landed
+    // (the @8+ trigger lets the header and early records through).
+    FailpointGuard fp("trace.write=err:ENOSPC@8+");
+    std::string path = tmpPath("enospc_mid.ubtr");
+    EXPECT_DEATH(writeTrace(smallTrace(), path),
+                 "No space left on device");
+}
+
+TEST(TraceMalformedDeath, ReadFaultIsDiagnosedAsIoFailureNotTruncation)
+{
+    // A failing disk and a truncated capture need different operator
+    // responses; the reader must not conflate them. The injected
+    // fread failure hits the first refill, so the message carries
+    // offset 0 and the I/O-failure qualifier.
+    std::string path = tmpPath("readfault.ubtr");
+    writeTrace(smallTrace(), path);
+    FailpointGuard fp("trace.read=err:EIO@1");
+    EXPECT_DEATH(readTrace(path),
+                 "read error at offset 0 \\(I/O failure, not a "
+                 "truncated capture\\)");
+}
+
+TEST(TraceMalformedDeath, ChecksumFaultReadsAsCorruptTrace)
+{
+    // The failpoint simulates a bit flip the disk did not report:
+    // same diagnosis as a genuinely corrupt chunk, without having to
+    // hand-flip payload bytes.
+    std::string path = tmpPath("crcfault.ubtr");
+    writeTrace(smallTrace(), path);
+    FailpointGuard fp("trace.checksum=err@1");
+    EXPECT_DEATH(readTrace(path),
+                 "chunk 0 checksum mismatch");
 }
 
 TEST(TraceMalformedDeath, StreamedReaderReportsSameErrors)

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "common/cli.h"
+#include "common/failpoint.h"
 #include "common/log.h"
 #include "report/report.h"
 #include "sim/scenario.h"
@@ -121,11 +122,22 @@ main(int argc, char **argv)
         "shard", "",
         "run only every n-th mix, as i/n (e.g. 0/4); shards share "
         "cache keys, so their caches merge (overrides UBIK_SHARD)");
+    auto &failpoints = cli.flag(
+        "failpoints", "",
+        "arm deterministic fault injection, e.g. "
+        "'cache.append=short_write@3;claim.create=err:EIO@p0.05,"
+        "seed7' or 'random:<seed>' (overrides UBIK_FAILPOINTS; see "
+        "README \"Fault injection\")");
     auto &verbose =
         cli.flag("verbose", false, "chatty progress output");
     cli.parse(argc, argv);
 
     setVerbose(verbose.value);
+    if (!failpoints.value.empty()) {
+        failpointConfigure(failpoints.value);
+        std::fprintf(stderr, "  [failpoints] armed: %s\n",
+                     failpointScheduleString().c_str());
+    }
 
     // The three modes (list, dump, run) are mutually exclusive;
     // silently ignoring the other mode's flags would "succeed" at
@@ -210,5 +222,8 @@ main(int argc, char **argv)
         fatal("--fleet needs a shared cache: pass --cache-dir (or "
               "set UBIK_CACHE_DIR)");
 
-    return executeScenario(spec, cfg, results.value);
+    int rc = executeScenario(spec, cfg, results.value);
+    if (failpointsArmed())
+        failpointReport(stderr);
+    return rc;
 }
