@@ -33,6 +33,8 @@ const struct
     {"EACCES", EACCES}, {"EPERM", EPERM},   {"EROFS", EROFS},
     {"EMFILE", EMFILE}, {"ENFILE", ENFILE}, {"EDQUOT", EDQUOT},
     {"EFBIG", EFBIG},   {"EAGAIN", EAGAIN}, {"EINTR", EINTR},
+    {"EPIPE", EPIPE},   {"ECONNRESET", ECONNRESET},
+    {"ECONNABORTED", ECONNABORTED},
 };
 
 std::string
@@ -293,6 +295,9 @@ const struct
     {"claim.heartbeat", {"err:EIO", "err:ENOENT", nullptr}},
     {"claim.release", {"err:EIO", nullptr, nullptr}},
     {"claim.break", {"err:EIO", nullptr, nullptr}},
+    {"serve.accept", {"err:EMFILE", "err:ECONNABORTED", nullptr}},
+    {"serve.read", {"err:EIO", "err:ECONNRESET", nullptr}},
+    {"serve.write", {"err:EPIPE", "short_write:%u", nullptr}},
 };
 
 /** Expand `random:<seed>` into a concrete schedule string. */

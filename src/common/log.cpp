@@ -7,7 +7,18 @@ namespace ubik {
 
 namespace {
 bool gVerbose = true;
+thread_local bool tFatalTrapped = false;
 } // namespace
+
+FatalTrap::FatalTrap() : prev_(tFatalTrapped)
+{
+    tFatalTrapped = true;
+}
+
+FatalTrap::~FatalTrap()
+{
+    tFatalTrapped = prev_;
+}
 
 void
 setVerbose(bool verbose)
@@ -36,6 +47,14 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
+    if (tFatalTrapped) {
+        char buf[2048];
+        va_list args;
+        va_start(args, fmt);
+        std::vsnprintf(buf, sizeof buf, fmt, args);
+        va_end(args);
+        throw FatalError(buf);
+    }
     std::fprintf(stderr, "fatal: %s:%d: ", file, line);
     va_list args;
     va_start(args, fmt);

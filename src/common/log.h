@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdarg>
+#include <stdexcept>
+#include <string>
 
 namespace ubik {
 
@@ -20,6 +22,39 @@ namespace ubik {
 
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
     __attribute__((format(printf, 3, 4)));
+
+/**
+ * Thrown by fatal() instead of exiting when the calling thread has an
+ * armed FatalTrap. what() carries the formatted message (without the
+ * "fatal: file:line:" prefix).
+ */
+struct FatalError : std::runtime_error
+{
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/**
+ * RAII guard turning fatal() into a catchable FatalError on *this
+ * thread* for its lifetime. Long-lived servers arm one around
+ * request handling so a bad user spec produces an error response
+ * instead of killing the process; tests arm one instead of spawning
+ * a death-test child. panic() (internal invariants) still aborts —
+ * only user-error fatals are trappable.
+ */
+class FatalTrap
+{
+  public:
+    FatalTrap();
+    ~FatalTrap();
+    FatalTrap(const FatalTrap &) = delete;
+    FatalTrap &operator=(const FatalTrap &) = delete;
+
+  private:
+    bool prev_;
+};
 
 void warnImpl(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 

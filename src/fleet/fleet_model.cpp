@@ -1,0 +1,562 @@
+#include "fleet/fleet_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/types.h"
+#include "core/advisor.h"
+#include "queueing/queue_sim.h"
+#include "trace/trace_analyzer.h"
+#include "workload/trace_capture.h"
+
+namespace ubik {
+
+namespace {
+
+/** Load quantum the queue-sim memo buckets on: fine enough that the
+ *  queueing regime inside one bucket is homogeneous, coarse enough
+ *  that an imbalanced fleet needs tens of sims, not thousands. */
+constexpr double kLoadBucket = 0.02;
+
+/** Requests captured per LC preset for the advisor's miss curve
+ *  (matches the trace_advisor example's fidelity at a fraction of
+ *  the cost; the curve shape converges well before this). */
+constexpr std::uint64_t kAdvisorTraceRequests = 256;
+
+/** Seed-averaged MixRunResult metrics for one (scheme, mix). */
+struct MixAvg
+{
+    double tailDegradation = 0;
+    double meanDegradation = 0;
+    double weightedSpeedup = 0;
+};
+
+/** Relative LLC pressure of a batch class (what a non-downsizable
+ *  server wants colocated: the least cache-hungry bundle). */
+int
+classPressure(BatchClass c)
+{
+    switch (c) {
+      case BatchClass::Insensitive: return 0;
+      case BatchClass::Friendly: return 1;
+      case BatchClass::Fitting: return 2;
+      case BatchClass::Streaming: return 3;
+    }
+    return 3;
+}
+
+/** One LC preset's slice of the scenario mixes. */
+struct LcGroup
+{
+    std::string lcName;
+    std::vector<std::size_t> mixIdx;       ///< into mixes, in order
+    std::vector<std::string> bundles;      ///< unique batch names
+    std::vector<std::vector<std::size_t>> bundleMixes; ///< per bundle
+
+    bool canDownsize = false;
+    std::uint64_t freedLines = 0;
+    double transientUs = 0;
+    std::size_t pressureBundle = 0;
+    std::uint64_t rotation = 0; ///< round-robin offset (downsizable)
+};
+
+double
+nearestRankMs(std::vector<double> &sorted_ms, double pct)
+{
+    if (sorted_ms.empty())
+        return 0;
+    std::size_t n = sorted_ms.size();
+    std::size_t rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(n)));
+    if (rank == 0)
+        rank = 1;
+    if (rank > n)
+        rank = n;
+    return sorted_ms[rank - 1];
+}
+
+} // namespace
+
+void
+FleetSpec::validate(const char *what) const
+{
+    if (servers == 0)
+        return;
+    if (lcPerServer == 0 || batchPerServer == 0)
+        fatal("%s: lc_per_server and batch_per_server must be >= 1",
+              what);
+    arrivals.validate(what);
+    if (maxWorkers == 0 || maxWorkers > 64)
+        fatal("%s: max_workers %u outside [1, 64]", what, maxWorkers);
+    if (queueWorkers > maxWorkers)
+        fatal("%s: queue_workers %u exceeds max_workers %u", what,
+              queueWorkers, maxWorkers);
+    if (queueRequests == 0)
+        fatal("%s: queue_requests must be >= 1", what);
+    if (interference < 0 || interference > 1.0)
+        fatal("%s: interference %.3f outside [0, 1]", what,
+              interference);
+    if (abortProb < 0 || abortProb >= 1.0)
+        fatal("%s: abort_prob %.3f outside [0, 1)", what, abortProb);
+    if (tailTargetMs < 0)
+        fatal("%s: tail_target_ms must be >= 0", what);
+    if (sloMargin < 0 || sloMargin > 1.0)
+        fatal("%s: slo_margin %.3f outside [0, 1]", what, sloMargin);
+}
+
+bool
+operator==(const FleetSpec &a, const FleetSpec &b)
+{
+    return a.servers == b.servers && a.lcPerServer == b.lcPerServer &&
+           a.batchPerServer == b.batchPerServer &&
+           a.arrivals == b.arrivals &&
+           a.queueWorkers == b.queueWorkers &&
+           a.maxWorkers == b.maxWorkers &&
+           a.interference == b.interference &&
+           a.abortProb == b.abortProb &&
+           a.queueRequests == b.queueRequests &&
+           a.queueWarmup == b.queueWarmup &&
+           a.queueSeed == b.queueSeed &&
+           a.tailTargetMs == b.tailTargetMs &&
+           a.sloMargin == b.sloMargin &&
+           a.placementSeed == b.placementSeed;
+}
+
+FleetResult
+runFleet(const FleetSpec &fs,
+         const std::vector<SchemeUnderTest> &schemes,
+         const std::vector<MixSpec> &mixes,
+         const std::vector<SweepResult> &sweeps,
+         const ExperimentConfig &cfg, bool ooo, ResultCache *cache)
+{
+    fs.validate("fleet");
+    if (fs.servers == 0)
+        panic("runFleet on a spec without a fleet stage");
+    if (schemes.empty() || mixes.empty())
+        fatal("fleet: needs at least one scheme and one mix");
+    if (sweeps.size() != schemes.size())
+        panic("fleet: sweep/scheme count mismatch (%zu vs %zu)",
+              sweeps.size(), schemes.size());
+    std::uint32_t seeds = cfg.seeds ? cfg.seeds : 1;
+    for (const SweepResult &sw : sweeps)
+        if (sw.runs.size() != mixes.size() * seeds)
+            panic("fleet: sweep '%s' has %zu runs, expected %zu",
+                  sw.label.c_str(), sw.runs.size(),
+                  mixes.size() * seeds);
+
+    // --- Seed-averaged cache-sim metrics per (scheme, mix). The
+    // sweep layout is mix-major, seed-inner.
+    std::vector<std::vector<MixAvg>> avg(schemes.size());
+    for (std::size_t s = 0; s < schemes.size(); s++) {
+        avg[s].resize(mixes.size());
+        for (std::size_t m = 0; m < mixes.size(); m++) {
+            MixAvg &a = avg[s][m];
+            for (std::uint32_t k = 0; k < seeds; k++) {
+                const MixRunResult &r = sweeps[s].runs[m * seeds + k];
+                a.tailDegradation += r.tailDegradation;
+                a.meanDegradation += r.meanDegradation;
+                a.weightedSpeedup += r.weightedSpeedup;
+            }
+            a.tailDegradation /= seeds;
+            a.meanDegradation /= seeds;
+            a.weightedSpeedup /= seeds;
+        }
+    }
+
+    // --- Group mixes by LC preset, preserving first-seen order.
+    std::vector<LcGroup> groups;
+    for (std::size_t m = 0; m < mixes.size(); m++) {
+        const std::string &lc = mixes[m].lc.app.name;
+        LcGroup *g = nullptr;
+        for (LcGroup &cand : groups)
+            if (cand.lcName == lc) {
+                g = &cand;
+                break;
+            }
+        if (!g) {
+            groups.push_back({});
+            g = &groups.back();
+            g->lcName = lc;
+        }
+        g->mixIdx.push_back(m);
+        const std::string &bundle = mixes[m].batch.name;
+        std::size_t b = 0;
+        for (; b < g->bundles.size(); b++)
+            if (g->bundles[b] == bundle)
+                break;
+        if (b == g->bundles.size()) {
+            g->bundles.push_back(bundle);
+            g->bundleMixes.push_back({});
+        }
+        g->bundleMixes[b].push_back(m);
+    }
+
+    MixRunner runner(cfg, ooo);
+    runner.attachCache(cache);
+
+    // --- Per-group advisor verdict (scheme-independent, so every
+    // scheme is compared on identical placements) and the fallback
+    // minimum-pressure bundle for non-downsizable groups.
+    for (std::size_t gi = 0; gi < groups.size(); gi++) {
+        LcGroup &g = groups[gi];
+
+        // The variant closest to the cluster's nominal load anchors
+        // the baseline and the advisor's deadline.
+        std::size_t anchor = g.mixIdx.front();
+        for (std::size_t m : g.mixIdx)
+            if (std::fabs(mixes[m].lc.load - fs.arrivals.nominalLoad) <
+                std::fabs(mixes[anchor].lc.load -
+                          fs.arrivals.nominalLoad))
+                anchor = m;
+        const LcAppParams &app = mixes[anchor].lc.app;
+        const LcBaseline &base =
+            runner.lcBaseline(app, mixes[anchor].lc.load, 1);
+
+        TraceData trace = captureLcTrace(app.scaled(cfg.scale),
+                                         kAdvisorTraceRequests,
+                                         /*seed=*/42);
+        TraceAnalysis an = analyzeTrace(trace);
+        std::uint64_t target = cfg.privateLines();
+
+        CoreProfile prof;
+        prof.missPenalty = 200.0 / app.mlp;
+        prof.hitCyclesPerAccess = 20;
+        prof.missRate = an.missRatioAtSize(target);
+        prof.accessesPerCycle = app.apki / 1000.0 * app.baseIpc;
+        prof.valid = true;
+
+        AdvisorInput in;
+        in.curve = an.missCurve(257, target * 4);
+        in.intervalAccesses = an.accesses;
+        in.profile = prof;
+        in.targetLines = target;
+        in.deadline = base.p95;
+        in.boostCap = cfg.llcLines() / fs.lcPerServer;
+        AdvisorReport rep = advise(in);
+
+        g.canDownsize = rep.canDownsize;
+        g.freedLines = rep.best.freedLines;
+        g.transientUs =
+            rep.best.transientCycles / kClockHz * 1e6 * cfg.scale;
+        g.rotation = Rng::jobStream(fs.placementSeed, gi)
+                         .uniformInt(g.bundles.size());
+
+        int best_pressure = 0;
+        for (std::size_t b = 0; b < g.bundles.size(); b++) {
+            const MixSpec &mx = mixes[g.bundleMixes[b].front()];
+            int pressure = 0;
+            for (const BatchAppParams &bp : mx.batch.apps)
+                pressure += classPressure(bp.cls);
+            if (b == 0 || pressure < best_pressure) {
+                best_pressure = pressure;
+                g.pressureBundle = b;
+            }
+        }
+    }
+
+    ClusterArrivals arr(fs.arrivals, fs.servers);
+
+    // --- Per-mix baselines (the sweep warmed the cache, so these
+    // are lookups, not simulations) and shape-preserving service
+    // distributions for the queue composition.
+    std::vector<double> aloneMean(mixes.size());
+    for (std::size_t m = 0; m < mixes.size(); m++)
+        aloneMean[m] =
+            runner.lcBaseline(mixes[m].lc.app, mixes[m].lc.load, 1)
+                .meanServiceCycles;
+
+    auto serviceScaledTo = [&](std::size_t m, double mean_cycles) {
+        ServiceDistribution d = mixes[m].lc.app.work;
+        d.scale(mean_cycles / d.mean());
+        return d;
+    };
+
+    // Queue tails memoized on (scheme(-1 = alone), mix, load bucket,
+    // workers). The alone run is scheme-independent and shares its
+    // seed with the inflated runs so each comparison is paired on
+    // the identical arrival sequence.
+    std::map<std::tuple<long, std::size_t, long, std::uint32_t>,
+             double>
+        tailMemo;
+    auto queueTail = [&](long scheme, std::size_t m, long bucket,
+                         std::uint32_t k) {
+        auto key = std::make_tuple(scheme, m, bucket, k);
+        auto it = tailMemo.find(key);
+        if (it != tailMemo.end())
+            return it->second;
+        double rho = static_cast<double>(bucket) * kLoadBucket;
+        double mean =
+            scheme < 0
+                ? aloneMean[m]
+                : aloneMean[m] *
+                      avg[static_cast<std::size_t>(scheme)][m]
+                          .meanDegradation;
+        QueueSimParams qp;
+        qp.workers = k;
+        qp.service = serviceScaledTo(m, mean);
+        // Open loop: the arrival rate is set by the *alone* offered
+        // load; colocation inflates service, not arrivals.
+        qp.meanInterarrival = aloneMean[m] / (rho * k);
+        qp.requests = fs.queueRequests;
+        qp.warmup = fs.queueWarmup;
+        qp.interferenceFactor = fs.interference;
+        qp.abortProb = k > 1 ? fs.abortProb : 0.0;
+        std::uint64_t seed = fs.queueSeed +
+                             static_cast<std::uint64_t>(m) * 1000003 +
+                             static_cast<std::uint64_t>(bucket) * 7919 +
+                             k * 31;
+        double tail =
+            QueueSim(qp, seed).run().latencies.tailMean(95);
+        tailMemo.emplace(key, tail);
+        return tail;
+    };
+
+    // Autosize memo: smallest k <= maxWorkers whose alone tail meets
+    // the target at this (mix, bucket); the worker_sizing
+    // methodology, applied per load bucket.
+    std::map<std::pair<std::size_t, long>, std::uint32_t> sizeMemo;
+    auto workersFor = [&](std::size_t m, long bucket) {
+        if (fs.queueWorkers > 0)
+            return fs.queueWorkers;
+        auto key = std::make_pair(m, bucket);
+        auto it = sizeMemo.find(key);
+        if (it != sizeMemo.end())
+            return it->second;
+        double target_cycles =
+            fs.tailTargetMs > 0
+                ? fs.tailTargetMs * 1e-3 * kClockHz / cfg.scale
+                : 4.0 * aloneMean[m];
+        std::uint32_t chosen = fs.maxWorkers;
+        for (std::uint32_t k = 1; k <= fs.maxWorkers; k++)
+            if (queueTail(-1, m, bucket, k) <= target_cycles) {
+                chosen = k;
+                break;
+            }
+        sizeMemo.emplace(key, chosen);
+        return chosen;
+    };
+
+    // --- The fleet grid. Single-threaded and memoized: every value
+    // below is a pure function of the spec and the sweep results.
+    FleetResult fr;
+    fr.servers = fs.servers;
+    fr.slices = fs.arrivals.slices;
+    fr.users = fs.arrivals.users;
+    {
+        std::size_t anchor = groups.front().mixIdx.front();
+        double rate = arr.clusterRequestRate(
+            aloneMean[anchor], cfg.scale,
+            static_cast<std::uint64_t>(fs.servers) * fs.lcPerServer);
+        fr.impliedPerUserRps = rate / (fs.arrivals.users * 1e6);
+    }
+
+    auto groupOf = [&](std::uint32_t srv) -> const LcGroup & {
+        return groups[srv % groups.size()];
+    };
+    auto bundleOf = [&](std::uint32_t srv) {
+        const LcGroup &g = groupOf(srv);
+        if (!g.canDownsize)
+            return g.pressureBundle;
+        std::uint64_t slot = srv / groups.size() + g.rotation;
+        return static_cast<std::size_t>(slot % g.bundles.size());
+    };
+    auto variantOf = [&](std::uint32_t srv, double rho) {
+        const LcGroup &g = groupOf(srv);
+        const std::vector<std::size_t> &vars =
+            g.bundleMixes[bundleOf(srv)];
+        std::size_t best = vars.front();
+        for (std::size_t m : vars)
+            if (std::fabs(mixes[m].lc.load - rho) <
+                std::fabs(mixes[best].lc.load - rho))
+                best = m;
+        return best;
+    };
+
+    for (std::uint32_t srv = 0; srv < fs.servers; srv++)
+        if (groupOf(srv).canDownsize)
+            fr.serversDownsizable++;
+
+    double cores =
+        static_cast<double>(fs.lcPerServer + fs.batchPerServer);
+
+    for (std::size_t s = 0; s < schemes.size(); s++) {
+        FleetSchemeResult r;
+        r.label = schemes[s].label;
+        double slack_limit = 1.0 + schemes[s].slack + fs.sloMargin;
+
+        std::vector<double> tails_ms;
+        tails_ms.reserve(static_cast<std::size_t>(fs.servers) *
+                         fr.slices);
+        double sum_load = 0, sum_batch_cores = 0, sum_workers = 0;
+        std::uint64_t violations = 0, samples = 0;
+
+        for (std::uint32_t sl = 0; sl < fr.slices; sl++) {
+            for (std::uint32_t srv = 0; srv < fs.servers; srv++) {
+                double rho = arr.serverLoad(sl, srv);
+                std::size_t m = variantOf(srv, rho);
+                long bucket = std::lround(rho / kLoadBucket);
+                if (bucket < 1)
+                    bucket = 1;
+                std::uint32_t k = workersFor(m, bucket);
+
+                double alone =
+                    queueTail(-1, m, bucket, k);
+                double infl = queueTail(static_cast<long>(s), m,
+                                        bucket, k);
+                // End-to-end tail degradation: the queue composition
+                // captures how the mean service inflation amplifies
+                // through queueing; the cache-sim ratio adds the
+                // tail-specific degradation beyond the mean.
+                double queue_deg = alone > 0 ? infl / alone : 1.0;
+                double cache_tail_vs_mean =
+                    avg[s][m].meanDegradation > 0
+                        ? avg[s][m].tailDegradation /
+                              avg[s][m].meanDegradation
+                        : 1.0;
+                double deg = queue_deg * cache_tail_vs_mean;
+
+                if (deg > slack_limit)
+                    violations++;
+                samples++;
+                tails_ms.push_back(
+                    infl / kClockHz * 1e3 * cfg.scale);
+                sum_load += rho;
+                sum_batch_cores +=
+                    fs.batchPerServer * avg[s][m].weightedSpeedup;
+                sum_workers += k;
+            }
+        }
+
+        double n = static_cast<double>(samples);
+        r.meanLoad = sum_load / n;
+        r.utilization =
+            (fs.lcPerServer * r.meanLoad + fs.batchPerServer) / cores;
+        r.dedicatedUtil = fs.lcPerServer * r.meanLoad / cores;
+        r.utilizationLift =
+            r.dedicatedUtil > 0 ? r.utilization / r.dedicatedUtil : 0;
+        std::sort(tails_ms.begin(), tails_ms.end());
+        r.tailP95Ms = nearestRankMs(tails_ms, 95);
+        r.tailP99Ms = nearestRankMs(tails_ms, 99);
+        r.sloViolationFrac = static_cast<double>(violations) / n;
+        r.batchCoreEquivalents = sum_batch_cores / fr.slices;
+        r.machinesSavedVsDedicated = r.batchCoreEquivalents / cores;
+        r.meanWorkers = sum_workers / n;
+        fr.schemes.push_back(std::move(r));
+    }
+
+    // Machines saved vs the StaticLC partitioning scheme, when the
+    // spec includes one (the paper's §7.1 comparison).
+    long static_idx = -1;
+    for (std::size_t s = 0; s < schemes.size(); s++)
+        if (schemes[s].policy == PolicyKind::StaticLc) {
+            static_idx = static_cast<long>(s);
+            break;
+        }
+    if (static_idx >= 0) {
+        double base =
+            fr.schemes[static_cast<std::size_t>(static_idx)]
+                .batchCoreEquivalents;
+        for (std::size_t s = 0; s < fr.schemes.size(); s++)
+            if (static_cast<long>(s) != static_idx)
+                fr.schemes[s].machinesSavedVsStatic =
+                    (fr.schemes[s].batchCoreEquivalents - base) /
+                    cores;
+    }
+
+    for (const LcGroup &g : groups) {
+        FleetPlanRow row;
+        row.lc = g.lcName;
+        row.placement =
+            g.canDownsize ? "rotate" : g.bundles[g.pressureBundle];
+        row.canDownsize = g.canDownsize;
+        row.freedLines = g.freedLines;
+        row.transientUs = g.transientUs;
+        for (std::uint32_t srv = 0; srv < fs.servers; srv++)
+            if (&groupOf(srv) == &g)
+                row.servers++;
+        fr.plan.push_back(std::move(row));
+    }
+
+    return fr;
+}
+
+void
+printFleetReport(const FleetResult &fr)
+{
+    std::printf("  [fleet] servers=%u slices=%u users=%.2fM "
+                "rps_per_user=%.4f downsizable=%u\n",
+                fr.servers, fr.slices, fr.users,
+                fr.impliedPerUserRps, fr.serversDownsizable);
+    for (const FleetPlanRow &p : fr.plan)
+        std::printf("  [fleet-plan] lc=%s placement=%s downsize=%s "
+                    "freed_lines=%llu transient_us=%.1f servers=%u\n",
+                    p.lc.c_str(), p.placement.c_str(),
+                    p.canDownsize ? "yes" : "no",
+                    static_cast<unsigned long long>(p.freedLines),
+                    p.transientUs, p.servers);
+    for (const FleetSchemeResult &r : fr.schemes)
+        std::printf(
+            "  [fleet-summary] scheme=%s load=%.3f util=%.3f "
+            "dedicated=%.3f lift=%.2fx p95_ms=%.3f p99_ms=%.3f "
+            "slo_viol=%.4f batch_cores=%.1f saved_vs_dedicated=%.1f "
+            "saved_vs_static=%.1f workers=%.2f\n",
+            r.label.c_str(), r.meanLoad, r.utilization,
+            r.dedicatedUtil, r.utilizationLift, r.tailP95Ms,
+            r.tailP99Ms, r.sloViolationFrac, r.batchCoreEquivalents,
+            r.machinesSavedVsDedicated, r.machinesSavedVsStatic,
+            r.meanWorkers);
+}
+
+Json
+fleetToJson(const FleetResult &fr)
+{
+    Json root = Json::object();
+    root.set("servers", Json(fr.servers));
+    root.set("slices", Json(fr.slices));
+    root.set("users_millions", Json(fr.users));
+    root.set("implied_per_user_rps", Json(fr.impliedPerUserRps));
+    root.set("servers_downsizable", Json(fr.serversDownsizable));
+
+    Json plan = Json::array();
+    for (const FleetPlanRow &p : fr.plan) {
+        Json row = Json::object();
+        row.set("lc", Json(p.lc));
+        row.set("placement", Json(p.placement));
+        row.set("downsize", Json(p.canDownsize));
+        row.set("freed_lines", Json(p.freedLines));
+        row.set("transient_us", Json(p.transientUs));
+        row.set("servers", Json(p.servers));
+        plan.push(std::move(row));
+    }
+    root.set("plan", std::move(plan));
+
+    Json schemes = Json::array();
+    for (const FleetSchemeResult &r : fr.schemes) {
+        Json row = Json::object();
+        row.set("scheme", Json(r.label));
+        row.set("mean_load", Json(r.meanLoad));
+        row.set("utilization", Json(r.utilization));
+        row.set("dedicated_utilization", Json(r.dedicatedUtil));
+        row.set("utilization_lift", Json(r.utilizationLift));
+        row.set("tail_p95_ms", Json(r.tailP95Ms));
+        row.set("tail_p99_ms", Json(r.tailP99Ms));
+        row.set("slo_violation_frac", Json(r.sloViolationFrac));
+        row.set("batch_core_equivalents",
+                Json(r.batchCoreEquivalents));
+        row.set("machines_saved_vs_dedicated",
+                Json(r.machinesSavedVsDedicated));
+        row.set("machines_saved_vs_static",
+                Json(r.machinesSavedVsStatic));
+        row.set("mean_workers", Json(r.meanWorkers));
+        schemes.push(std::move(row));
+    }
+    root.set("schemes", std::move(schemes));
+    return root;
+}
+
+} // namespace ubik

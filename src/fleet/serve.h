@@ -1,0 +1,162 @@
+/**
+ * @file
+ * ubik_serve core: a long-lived scenario-query daemon over a unix
+ * domain socket, answering from the warm ResultCache in milliseconds.
+ *
+ * Protocol: one JSON request per connection. The client writes a
+ * single JSON object, shuts down its write side, and reads one JSON
+ * response (newline-terminated) until EOF. Queries:
+ *
+ *   {"query": "scenario", "name": "fleet-utilization",
+ *    "set": ["seeds=2"]}                  -> {"ok": true, "results": {...}}
+ *   {"query": "scenario", "spec": {...}}  -> same, inline ScenarioSpec
+ *   {"query": "list"}                     -> {"ok": true, "scenarios": [...]}
+ *   {"query": "stats"}                    -> {"ok": true, "stats": {...}}
+ *
+ * The "results" member is byte-for-byte the document `ubik_run
+ * --results` writes for the same spec and environment (both render
+ * scenarioResultsJson()), so a client can diff daemon answers
+ * against direct runs — CI does.
+ *
+ * A malformed or invalid request never kills the daemon: request
+ * handling runs under a FatalTrap (common/log.h), so the fatal()
+ * paths that would exit a CLI tool become per-request
+ * {"ok": false, "error": ...} responses. Repeated identical queries
+ * are answered from an in-memory response memo without touching the
+ * engine at all; cold queries compute through runScenario() (the
+ * normal sweep path) against the daemon's shared persistent cache
+ * and warm it for everyone else.
+ *
+ * Failure injection: the accept/read/write paths evaluate the
+ * serve.accept / serve.read / serve.write failpoint sites
+ * (common/failpoint.h), and degrade per connection — an injected
+ * socket error drops that one request, never the daemon.
+ *
+ * SIGTERM/SIGINT (via serveMain) request a graceful drain: stop
+ * accepting, finish in-flight requests, unlink the socket, exit 0.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "sim/experiment.h"
+#include "stats/latency_recorder.h"
+
+namespace ubik {
+
+class ResultCache;
+
+struct ServeOptions
+{
+    std::string socketPath; ///< unix socket path (required)
+    unsigned threads = 2;   ///< request worker threads
+    std::size_t maxRequestBytes = 1 << 20;
+    bool verbose = false;   ///< per-request log lines to stderr
+};
+
+/** One consistent stats snapshot (the "stats" query's payload). */
+struct ServeStatsSnapshot
+{
+    double uptimeSec = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t memoHits = 0;
+    std::uint64_t acceptErrors = 0;
+    std::uint64_t readErrors = 0;
+    std::uint64_t writeErrors = 0;
+    double meanServiceUs = 0;
+    double p95ServiceUs = 0;
+    std::uint64_t cacheHits = 0;   ///< ResultCache counters
+    std::uint64_t cacheMisses = 0;
+};
+
+class ServeDaemon
+{
+  public:
+    /** `cfg` is the experiment environment every query runs under
+     *  (scale, requests, cache dir, jobs); fleet claiming is forced
+     *  off — the daemon computes locally. */
+    ServeDaemon(const ServeOptions &opt, const ExperimentConfig &cfg);
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /** Bind + listen on the socket path (replacing a stale file).
+     *  Returns false with `err` set instead of dying. */
+    bool start(std::string *err);
+
+    /** Accept/serve until requestStop(); returns the exit code.
+     *  Unlinks the socket on the way out. */
+    int run();
+
+    /** Ask run() to drain and return. Safe from any thread; the
+     *  signal path writes the self-pipe instead (see serveMain). */
+    void requestStop();
+
+    /** Handle one request body -> one response body (no trailing
+     *  newline). Public so tests can drive the protocol without a
+     *  socket; run() serves exactly this per connection. */
+    std::string handleRequest(const std::string &body);
+
+    /** Stats snapshot (what the "stats" query reports). */
+    ServeStatsSnapshot snapshot() const;
+
+    /** The self-pipe write end, for signal handlers. -1 before
+     *  start(). */
+    int stopFd() const { return stopPipe_[1]; }
+
+  private:
+    std::string handleScenario(const Json &req);
+    std::string handleStats();
+    std::string handleList();
+    std::string errorResponse(const std::string &msg);
+    void serveConnection(int fd);
+    void workerLoop();
+    void recordService(double us, bool ok_resp, bool memo_hit);
+
+    ServeOptions opt_;
+    ExperimentConfig cfg_;
+    std::unique_ptr<ResultCache> cache_;
+
+    int listenFd_ = -1;
+    int stopPipe_[2] = {-1, -1};
+    std::atomic<bool> stopping_{false};
+
+    // Connection queue feeding the worker threads.
+    std::mutex qMu_;
+    std::condition_variable qCv_;
+    std::vector<int> queue_;
+    std::vector<std::thread> workers_;
+
+    // Response memo: canonical expanded spec -> response body.
+    std::mutex memoMu_;
+    std::map<std::string, std::string> memo_;
+
+    // Stats.
+    mutable std::mutex statsMu_;
+    std::chrono::steady_clock::time_point started_;
+    std::uint64_t requests_ = 0, ok_ = 0, errors_ = 0;
+    std::uint64_t memoHits_ = 0;
+    std::uint64_t acceptErrors_ = 0, readErrors_ = 0,
+                  writeErrors_ = 0;
+    LatencyRecorder serviceUs_; ///< service time, microseconds
+};
+
+/** The ubik_serve server entry: install SIGTERM/SIGINT -> self-pipe
+ *  handlers, start(), announce the socket on stderr, run(). */
+int serveMain(const ServeOptions &opt, const ExperimentConfig &cfg);
+
+} // namespace ubik

@@ -230,9 +230,9 @@ printUbikInterrupts(const std::vector<SweepResult> &sweeps,
     }
 }
 
-void
-writeResultsJson(const std::vector<SweepResult> &sweeps,
-                 const std::string &scenario, const std::string &path)
+Json
+resultsToJson(const std::vector<SweepResult> &sweeps,
+              const std::string &scenario)
 {
     Json root = Json::object();
     root.set("format", "ubik-results");
@@ -269,13 +269,25 @@ writeResultsJson(const std::vector<SweepResult> &sweeps,
         jsweeps.push(std::move(js));
     }
     root.set("sweeps", std::move(jsweeps));
+    return root;
+}
 
+void
+writeJsonFile(const Json &doc, const std::string &path)
+{
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     if (!out)
         fatal("cannot write results to %s", path.c_str());
-    out << root.dump(/*pretty=*/true) << "\n";
+    out << doc.dump(/*pretty=*/true) << "\n";
     if (!out.flush())
         fatal("short write to %s", path.c_str());
+}
+
+void
+writeResultsJson(const std::vector<SweepResult> &sweeps,
+                 const std::string &scenario, const std::string &path)
+{
+    writeJsonFile(resultsToJson(sweeps, scenario), path);
 }
 
 void

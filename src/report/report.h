@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "sim/mix_runner.h"
 
 namespace ubik {
@@ -91,11 +92,21 @@ void maybeExportCsv(const std::vector<SweepResult> &sweeps,
                     const char *tag);
 
 /**
- * Write the whole sweep as structured JSON: per scheme, per run, the
- * mix name/load/seed and every MixRunResult field, doubles in
- * round-trip form (bit-identical results => byte-identical files).
- * `scenario` labels the export (empty = omitted).
+ * The structured-results document as a JSON value: per scheme, per
+ * run, the mix name/load/seed and every MixRunResult field, doubles
+ * in round-trip form (bit-identical results => byte-identical
+ * serializations). The file writer and the serving daemon both
+ * render this one construction, so their outputs agree byte for
+ * byte. `scenario` labels the export (empty = omitted).
  */
+Json resultsToJson(const std::vector<SweepResult> &sweeps,
+                   const std::string &scenario);
+
+/** Write `doc` pretty-printed plus a trailing newline to `path`
+ *  (binary mode); fatal() on open or flush failure. */
+void writeJsonFile(const Json &doc, const std::string &path);
+
+/** writeJsonFile(resultsToJson(sweeps, scenario), path). */
 void writeResultsJson(const std::vector<SweepResult> &sweeps,
                       const std::string &scenario,
                       const std::string &path);

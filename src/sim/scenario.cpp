@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <dirent.h>
+#include <fstream>
 #include <map>
+#include <set>
 
 #include "common/log.h"
 #include "sim/claim_store.h"
@@ -376,6 +379,101 @@ profileFromJson(const Json &j)
     return p;
 }
 
+std::uint64_t
+u64Field(const Json &obj, const char *key, std::uint64_t def)
+{
+    const Json *v = obj.find(key);
+    if (!v)
+        return def;
+    double d = v->number();
+    if (d < 0 || d != std::floor(d))
+        fatal("scenario: \"%s\" must be a non-negative integer", key);
+    return static_cast<std::uint64_t>(d);
+}
+
+Json
+arrivalsToJson(const ArrivalSpec &a)
+{
+    Json j = Json::object();
+    j.set("users", a.users);
+    j.set("nominal_load", a.nominalLoad);
+    j.set("slices", a.slices);
+    j.set("imbalance", a.imbalance);
+    j.set("seed", a.seed);
+    j.set("load_profile", profileToJson(a.profile));
+    return j;
+}
+
+ArrivalSpec
+arrivalsFromJson(const Json &j)
+{
+    checkKeys(j,
+              {"users", "nominal_load", "slices", "imbalance", "seed",
+               "load_profile"},
+              "fleet.arrivals");
+    ArrivalSpec a;
+    a.users = numField(j, "users", a.users);
+    a.nominalLoad = numField(j, "nominal_load", a.nominalLoad);
+    a.slices = u32Field(j, "slices", a.slices);
+    a.imbalance = numField(j, "imbalance", a.imbalance);
+    a.seed = u32Field(j, "seed", a.seed);
+    if (const Json *v = j.find("load_profile"))
+        a.profile = profileFromJson(*v);
+    return a;
+}
+
+Json
+fleetToJsonBlock(const FleetSpec &f)
+{
+    Json j = Json::object();
+    j.set("servers", f.servers);
+    j.set("lc_per_server", f.lcPerServer);
+    j.set("batch_per_server", f.batchPerServer);
+    j.set("arrivals", arrivalsToJson(f.arrivals));
+    j.set("queue_workers", f.queueWorkers);
+    j.set("max_workers", f.maxWorkers);
+    j.set("interference", f.interference);
+    j.set("abort_prob", f.abortProb);
+    j.set("queue_requests", f.queueRequests);
+    j.set("queue_warmup", f.queueWarmup);
+    j.set("queue_seed", f.queueSeed);
+    j.set("tail_target_ms", f.tailTargetMs);
+    j.set("slo_margin", f.sloMargin);
+    j.set("placement_seed", f.placementSeed);
+    return j;
+}
+
+FleetSpec
+fleetFromJsonBlock(const Json &j)
+{
+    checkKeys(j,
+              {"servers", "lc_per_server", "batch_per_server",
+               "arrivals", "queue_workers", "max_workers",
+               "interference", "abort_prob", "queue_requests",
+               "queue_warmup", "queue_seed", "tail_target_ms",
+               "slo_margin", "placement_seed"},
+              "fleet");
+    FleetSpec f;
+    f.servers = u32Field(j, "servers", f.servers);
+    f.lcPerServer = u32Field(j, "lc_per_server", f.lcPerServer);
+    f.batchPerServer =
+        u32Field(j, "batch_per_server", f.batchPerServer);
+    if (const Json *v = j.find("arrivals"))
+        f.arrivals = arrivalsFromJson(*v);
+    f.queueWorkers = u32Field(j, "queue_workers", f.queueWorkers);
+    f.maxWorkers = u32Field(j, "max_workers", f.maxWorkers);
+    f.interference = numField(j, "interference", f.interference);
+    f.abortProb = numField(j, "abort_prob", f.abortProb);
+    f.queueRequests = u32Field(j, "queue_requests", f.queueRequests);
+    f.queueWarmup = u32Field(j, "queue_warmup", f.queueWarmup);
+    f.queueSeed = u64Field(j, "queue_seed", f.queueSeed);
+    f.tailTargetMs = numField(j, "tail_target_ms", f.tailTargetMs);
+    f.sloMargin = numField(j, "slo_margin", f.sloMargin);
+    f.placementSeed = u64Field(j, "placement_seed", f.placementSeed);
+    f.validate("scenario fleet");
+    return f;
+}
+
 Json
 reportToJson(const ReportBlock &b)
 {
@@ -442,6 +540,8 @@ scenarioToJson(const ScenarioSpec &spec)
     for (const auto &b : spec.reports)
         reports.push(reportToJson(b));
     j.set("reports", std::move(reports));
+    if (spec.fleet.servers)
+        j.set("fleet", fleetToJsonBlock(spec.fleet));
     return j;
 }
 
@@ -451,7 +551,7 @@ scenarioFromJson(const Json &j)
     checkKeys(j,
               {"name", "title", "notes", "schemes", "source",
                "mixes_per_lc", "load", "mixes", "ooo", "seeds",
-               "load_profile", "reports"},
+               "load_profile", "reports", "fleet"},
               "spec");
     ScenarioSpec spec;
     spec.name = strField(j, "name", "");
@@ -482,6 +582,8 @@ scenarioFromJson(const Json &j)
     if (const Json *v = j.find("reports"))
         for (const Json &jb : v->items())
             spec.reports.push_back(reportFromJson(jb));
+    if (const Json *v = j.find("fleet"))
+        spec.fleet = fleetFromJsonBlock(*v);
     return spec;
 }
 
@@ -581,9 +683,20 @@ applyScenarioOverride(ScenarioSpec &spec, const std::string &assignment)
                       w.c_str(), spec.name.c_str());
         }
         spec.schemes = std::move(kept);
+    } else if (key == "servers") {
+        // Resize the fleet stage; meaningless on a scenario without
+        // one (there is no sensible default for the rest of the
+        // fleet block, so refuse rather than invent one).
+        if (spec.fleet.servers == 0)
+            fatal("--set servers: scenario '%s' has no fleet stage",
+                  spec.name.c_str());
+        std::uint32_t n = parseU32();
+        if (n == 0)
+            fatal("--set servers: must be >= 1");
+        spec.fleet.servers = n;
     } else {
         fatal("--set: unknown key '%s' (seeds, mixes, load, ooo, "
-              "source, profile, schemes)",
+              "source, profile, schemes, servers)",
               key.c_str());
     }
 }
@@ -750,13 +863,17 @@ buildScenarioMixes(const ScenarioSpec &spec,
 std::vector<SweepResult>
 runSchemeSweep(const ExperimentConfig &cfg,
                const std::vector<SchemeUnderTest> &schemes,
-               const std::vector<MixSpec> &mixes, bool ooo)
+               const std::vector<MixSpec> &mixes, bool ooo,
+               ResultCache *shared, SweepAccounting *acct)
 {
     MixRunner runner(cfg, ooo);
-    std::unique_ptr<ResultCache> cache = ResultCache::open(cfg.cacheDir);
-    runner.attachCache(cache.get());
+    std::unique_ptr<ResultCache> owned;
+    if (!shared)
+        owned = ResultCache::open(cfg.cacheDir);
+    ResultCache *cache = shared ? shared : owned.get();
+    runner.attachCache(cache);
     ParallelSweep engine(runner, cfg.jobs);
-    engine.attachCache(cache.get());
+    engine.attachCache(cache);
     std::string worker = cfg.workerId;
     if (cfg.fleet) {
         if (!cache)
@@ -790,15 +907,33 @@ runSchemeSweep(const ExperimentConfig &cfg,
                              p.remote, p.elapsedSec);
         });
     // Machine-greppable per-process accounting: CI sums `computed=`
-    // across fleet workers to prove zero duplicate computation, and
-    // `degraded=` counts fault-tolerance events (0 on a clean run).
+    // across fleet workers to prove zero duplicate computation,
+    // `degraded=` counts fault-tolerance events (0 on a clean run),
+    // and elapsed/rate give each worker's wall-clock throughput
+    // (rate is computed-per-second — cache hits are free).
+    std::uint64_t degraded =
+        cache ? cache->stats().degraded() : 0;
+    double rate = last.elapsedSec > 0
+                      ? last.computed / last.elapsedSec
+                      : 0.0;
     std::fprintf(stderr,
                  "  [sweep-summary] worker=%s jobs=%zu hits=%zu "
-                 "computed=%zu remote=%zu degraded=%llu\n",
+                 "computed=%zu remote=%zu degraded=%llu "
+                 "elapsed=%.2fs rate=%.2f/s\n",
                  worker.empty() ? "local" : worker.c_str(),
                  jobs.size(), last.hits, last.computed, last.remote,
-                 static_cast<unsigned long long>(
-                     cache ? cache->stats().degraded() : 0));
+                 static_cast<unsigned long long>(degraded),
+                 last.elapsedSec, rate);
+    if (acct) {
+        acct->worker = worker.empty() ? "local" : worker;
+        acct->jobs = jobs.size();
+        acct->hits = last.hits;
+        acct->computed = last.computed;
+        acct->remote = last.remote;
+        acct->degraded = degraded;
+        acct->elapsedSec = last.elapsedSec;
+        acct->workers = engine.workers();
+    }
     if (cache)
         printCacheStats(*cache);
 
@@ -825,17 +960,33 @@ runSchemeSweep(const ExperimentConfig &cfg,
 }
 
 ScenarioResult
-runScenario(const ScenarioSpec &spec, const ExperimentConfig &cfg0)
+runScenario(const ScenarioSpec &spec, const ExperimentConfig &cfg0,
+            ResultCache *shared)
 {
     if (spec.schemes.empty())
         fatal("scenario '%s': no schemes to run", spec.name.c_str());
+    spec.fleet.validate(
+        ("scenario '" + spec.name + "' fleet").c_str());
     ExperimentConfig cfg = scenarioConfig(spec, cfg0);
     std::vector<MixSpec> mixes = buildScenarioMixes(spec, cfg);
     if (mixes.empty())
         fatal("scenario '%s': mix selection is empty",
               spec.name.c_str());
+    // One cache open serves both the sweep and the fleet stage (the
+    // sweep warms the baselines the composition re-reads).
+    std::unique_ptr<ResultCache> owned;
+    if (!shared)
+        owned = ResultCache::open(cfg.cacheDir);
+    ResultCache *cache = shared ? shared : owned.get();
     ScenarioResult res;
-    res.sweeps = runSchemeSweep(cfg, spec.schemes, mixes, spec.ooo);
+    res.sweeps = runSchemeSweep(cfg, spec.schemes, mixes, spec.ooo,
+                                cache, &res.accounting);
+    if (spec.fleet.servers) {
+        res.fleet = runFleet(spec.fleet, spec.schemes, mixes,
+                             res.sweeps, cfg, spec.ooo, cache);
+        res.hasFleet = true;
+    }
+    res.mixes = std::move(mixes);
     return res;
 }
 
@@ -878,22 +1029,145 @@ renderReports(const ScenarioSpec &spec, const ScenarioResult &res)
     }
 }
 
+Json
+scenarioResultsJson(const ScenarioSpec &spec,
+                    const ScenarioResult &res, bool accounting)
+{
+    Json root = resultsToJson(res.sweeps, spec.name);
+    if (res.hasFleet)
+        root.set("fleet", fleetToJson(res.fleet));
+    if (accounting) {
+        const SweepAccounting &a = res.accounting;
+        Json ja = Json::object();
+        ja.set("worker", a.worker);
+        ja.set("jobs", static_cast<std::uint64_t>(a.jobs));
+        ja.set("hits", static_cast<std::uint64_t>(a.hits));
+        ja.set("computed", static_cast<std::uint64_t>(a.computed));
+        ja.set("remote", static_cast<std::uint64_t>(a.remote));
+        ja.set("degraded", a.degraded);
+        ja.set("elapsed_sec", a.elapsedSec);
+        ja.set("rate_per_sec", a.elapsedSec > 0
+                                   ? a.computed / a.elapsedSec
+                                   : 0.0);
+        ja.set("workers", a.workers);
+        root.set("sweep", std::move(ja));
+    }
+    return root;
+}
+
 int
 executeScenario(const ScenarioSpec &spec, ExperimentConfig cfg,
-                const std::string &results_path)
+                const std::string &results_path, bool accounting)
 {
     cfg = scenarioConfig(spec, cfg);
     cfg.printHeader(spec.title.c_str());
     ScenarioResult res = runScenario(spec, cfg);
     renderReports(spec, res);
+    if (res.hasFleet)
+        printFleetReport(res.fleet);
     if (!results_path.empty()) {
-        writeResultsJson(res.sweeps, spec.name, results_path);
+        writeJsonFile(scenarioResultsJson(spec, res, accounting),
+                      results_path);
         std::fprintf(stderr, "  [%s] wrote %s\n", spec.name.c_str(),
                      results_path.c_str());
     }
     if (!spec.notes.empty())
         std::printf("\n%s\n", spec.notes.c_str());
     return 0;
+}
+
+void
+printFleetStatus(const ScenarioSpec &spec,
+                 const ExperimentConfig &cfg0)
+{
+    ExperimentConfig cfg = scenarioConfig(spec, cfg0);
+    if (cfg.cacheDir.empty())
+        fatal("--fleet-status needs a cache: pass --cache-dir "
+              "(or UBIK_CACHE_DIR)");
+    std::unique_ptr<ResultCache> cache =
+        ResultCache::open(cfg.cacheDir);
+    if (!cache)
+        fatal("--fleet-status: cannot open cache at %s",
+              cfg.cacheDir.c_str());
+    std::vector<MixSpec> mixes = buildScenarioMixes(spec, cfg);
+    std::vector<SweepJob> jobs =
+        buildSweepJobs(spec.schemes, mixes, cfg.seeds);
+
+    // Matrix fill: probe every (scheme, mix, seed) result key plus
+    // the baseline keys the sweep would prewarm. Probes only — no
+    // stats counted, nothing computed, nothing claimed.
+    std::set<std::string> jobKeys;
+    std::size_t done = 0;
+    for (const SweepJob &job : jobs) {
+        std::string key =
+            mixResultKey(cfg, job.mix, job.sut, job.seed, spec.ooo);
+        jobKeys.insert(key);
+        if (cache->peekMix(key))
+            done++;
+    }
+    std::size_t lcTotal = 0, lcDone = 0;
+    std::size_t batchTotal = 0, batchDone = 0;
+    std::set<std::string> seenBase;
+    for (const MixSpec &mix : mixes)
+        for (std::uint32_t s = 1; s <= cfg.seeds; s++) {
+            std::string lk = lcBaselineKey(cfg, mix.lc.app,
+                                           mix.lc.load, s, spec.ooo);
+            if (seenBase.insert(lk).second) {
+                lcTotal++;
+                if (cache->hasLcBaseline(lk))
+                    lcDone++;
+            }
+            for (const auto &app : mix.batch.apps) {
+                std::string bk =
+                    batchBaselineKey(cfg, app, s, spec.ooo);
+                if (seenBase.insert(bk).second) {
+                    batchTotal++;
+                    if (cache->hasBatchIpc(bk))
+                        batchDone++;
+                }
+            }
+        }
+    std::printf("[fleet-status] scenario=%s cache=%s\n",
+                spec.name.c_str(), cfg.cacheDir.c_str());
+    std::printf("[fleet-status] matrix: jobs=%zu done=%zu (%.1f%%) "
+                "lc_baselines=%zu/%zu batch_baselines=%zu/%zu\n",
+                jobs.size(), done,
+                jobs.empty() ? 100.0 : 100.0 * done / jobs.size(),
+                lcDone, lcTotal, batchDone, batchTotal);
+
+    // Live claim leases: who is mid-computation right now. The lease
+    // payload is "<owner> <key>\n" (claim_store.cpp); a key outside
+    // this scenario's matrix counts as foreign (another scenario, or
+    // another scale, sharing the cache).
+    std::map<std::string, std::pair<std::size_t, std::size_t>> owners;
+    std::size_t leases = 0;
+    std::string claimDir =
+        cfg.cacheDir + "/" + ClaimStore::kSubdir;
+    if (DIR *d = opendir(claimDir.c_str())) {
+        while (struct dirent *e = readdir(d)) {
+            std::string name = e->d_name;
+            if (name.size() < 6 ||
+                name.compare(name.size() - 6, 6, ".lease") != 0)
+                continue;
+            std::ifstream in(claimDir + "/" + name);
+            std::string owner, key;
+            if (!(in >> owner >> key))
+                continue;
+            leases++;
+            auto &c = owners[owner];
+            c.first++;
+            if (jobKeys.count(key))
+                c.second++;
+        }
+        closedir(d);
+    }
+    std::printf("[fleet-status] claims: live=%zu workers=%zu\n",
+                leases, owners.size());
+    for (const auto &o : owners)
+        std::printf("[fleet-status] worker=%s claims=%zu "
+                    "in_matrix=%zu\n",
+                    o.first.c_str(), o.second.first,
+                    o.second.second);
 }
 
 int

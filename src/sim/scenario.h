@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "fleet/fleet_model.h"
 #include "report/report.h"
 #include "sim/mix_runner.h"
 #include "workload/load_profile.h"
@@ -133,6 +134,15 @@ struct ScenarioSpec
      */
     LoadProfile profile;
 
+    /**
+     * Fleet stage (fleet/fleet_model.h): after the sweep, compose
+     * the per-server results into a datacenter of `fleet.servers`
+     * machines driven by the open-loop arrival model. servers == 0
+     * (the default) means no fleet stage; serialized as the "fleet"
+     * spec block only when present.
+     */
+    FleetSpec fleet;
+
     std::vector<ReportBlock> reports;
 };
 
@@ -187,30 +197,65 @@ ExperimentConfig scenarioConfig(const ScenarioSpec &spec,
 std::vector<MixSpec> buildScenarioMixes(const ScenarioSpec &spec,
                                         const ExperimentConfig &cfg);
 
+/** What one sweep cost this worker: the numbers behind the
+ *  [sweep-summary] line, exported into the results JSON when
+ *  accounting is requested (`ubik_run --accounting`). */
+struct SweepAccounting
+{
+    std::string worker;       ///< worker id ("local" solo)
+    std::size_t jobs = 0;     ///< (scheme, mix, seed) jobs total
+    std::size_t hits = 0;     ///< served from the result cache
+    std::size_t computed = 0; ///< simulated here
+    std::size_t remote = 0;   ///< claimed + published elsewhere
+    std::uint64_t degraded = 0; ///< cache degradation events
+    double elapsedSec = 0;    ///< sweep wall-clock
+    unsigned workers = 0;     ///< thread-pool width used
+};
+
 /**
  * Run `schemes` x `mixes` x seeds through the parallel experiment
  * engine with the persistent result cache attached (cfg.cacheDir).
  * Results are grouped per scheme with full mix metadata, and are
  * bit-identical across worker counts and cache states. This is the
  * one sweep path: scenarios, benches, and tools all run through it.
+ * A non-null `shared` cache is used instead of opening cfg.cacheDir
+ * (the serving daemon keeps one warm cache across requests); `acct`
+ * receives the per-worker accounting when non-null.
  */
 std::vector<SweepResult>
 runSchemeSweep(const ExperimentConfig &cfg,
                const std::vector<SchemeUnderTest> &schemes,
-               const std::vector<MixSpec> &mixes, bool ooo = true);
+               const std::vector<MixSpec> &mixes, bool ooo = true,
+               ResultCache *shared = nullptr,
+               SweepAccounting *acct = nullptr);
 
 struct ScenarioResult
 {
+    std::vector<MixSpec> mixes;      ///< expanded selection
     std::vector<SweepResult> sweeps; ///< one per spec scheme
+    SweepAccounting accounting;
+    FleetResult fleet;               ///< valid iff hasFleet
+    bool hasFleet = false;
 };
 
-/** Execute a spec end to end (validation, mixes, sweep). */
+/** Execute a spec end to end (validation, mixes, sweep, and the
+ *  fleet composition when spec.fleet.servers > 0). */
 ScenarioResult runScenario(const ScenarioSpec &spec,
-                           const ExperimentConfig &cfg);
+                           const ExperimentConfig &cfg,
+                           ResultCache *shared = nullptr);
 
 /** Render the spec's report blocks for a finished run. */
 void renderReports(const ScenarioSpec &spec,
                    const ScenarioResult &res);
+
+/**
+ * The results-JSON document for a finished run: resultsToJson()
+ * plus a "fleet" member when the spec ran a fleet stage, plus a
+ * "sweep" accounting member when `accounting` is set (opt-in
+ * because wall-clock values break byte-identical reruns).
+ */
+Json scenarioResultsJson(const ScenarioSpec &spec,
+                         const ScenarioResult &res, bool accounting);
 
 /**
  * The whole experiment, stdout to epilogue: apply the spec's config
@@ -220,7 +265,17 @@ void renderReports(const ScenarioSpec &spec,
  * wrappers share. Returns the process exit code.
  */
 int executeScenario(const ScenarioSpec &spec, ExperimentConfig cfg,
-                    const std::string &results_path = "");
+                    const std::string &results_path = "",
+                    bool accounting = false);
+
+/**
+ * `ubik_run --fleet-status`: without running anything, print how
+ * much of the spec's sweep matrix the cache already holds, and who
+ * holds live claim leases (<cache-dir>/claims/) — per-worker matrix
+ * fill for a distributed fleet mid-sweep.
+ */
+void printFleetStatus(const ScenarioSpec &spec,
+                      const ExperimentConfig &cfg);
 
 /** executeScenario() on a registry spec by name — the legacy
  *  figure/ablation executables are one-line wrappers over this. */

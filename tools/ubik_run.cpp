@@ -97,6 +97,16 @@ main(int argc, char **argv)
         cli.flag("results", "",
                  "write the full sweep as structured JSON to this "
                  "path");
+    auto &accounting = cli.flag(
+        "accounting", false,
+        "include the per-worker sweep accounting (wall-clock, "
+        "throughput) in the --results JSON; off by default because "
+        "timings break byte-identical reruns");
+    auto &fleet_status = cli.flag(
+        "fleet-status", false,
+        "inspect instead of run: print how much of the scenario's "
+        "sweep matrix the cache already holds and which workers "
+        "hold live claim leases, then exit");
     auto &jobs = cli.flag("jobs", static_cast<std::int64_t>(0),
                           "engine workers (0 = UBIK_JOBS or all "
                           "cores, 1 = sequential)");
@@ -151,6 +161,14 @@ main(int argc, char **argv)
         (!spec_path.value.empty() || !results.value.empty()))
         fatal("--dump emits a spec; it cannot be combined with "
               "--spec or --results");
+    if (fleet_status.value &&
+        (list.value || !dump.value.empty() || !results.value.empty() ||
+         fleet.value))
+        fatal("--fleet-status inspects the cache; it cannot be "
+              "combined with --list, --dump, --results, or --fleet");
+    if (accounting.value && results.value.empty())
+        fatal("--accounting only shapes the --results JSON; pass "
+              "--results too");
 
     if (list.value) {
         listScenarios();
@@ -222,7 +240,13 @@ main(int argc, char **argv)
         fatal("--fleet needs a shared cache: pass --cache-dir (or "
               "set UBIK_CACHE_DIR)");
 
-    int rc = executeScenario(spec, cfg, results.value);
+    if (fleet_status.value) {
+        printFleetStatus(spec, cfg);
+        return 0;
+    }
+
+    int rc = executeScenario(spec, cfg, results.value,
+                             accounting.value);
     if (failpointsArmed())
         failpointReport(stderr);
     return rc;
